@@ -1,0 +1,65 @@
+"""Ablation — the value of selectivity estimation in SSO (§6).
+
+Three estimator behaviours:
+
+- "uniform": the paper's uniform-independence estimator (the default);
+- "encode-all": always claims zero answers, so SSO encodes every
+  relaxation up front — this is the strategy of [3] the paper contrasts
+  with ("all possible relaxations are initially encoded ... resulting in
+  large intermediate query results");
+- "optimistic": always claims plenty, forcing restart loops (Algorithm 1
+  lines 11-13).
+
+Expected: uniform ≤ encode-all; optimistic pays one extra plan run per
+restart.
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, run_topk, warm
+
+SIZE = "10MB"
+QUERY = "Q2"
+K = 40
+
+
+class _EncodeAll:
+    def estimate(self, query):
+        return 0.0
+
+
+class _Optimistic:
+    def estimate(self, query):
+        return 1_000_000.0
+
+
+ESTIMATORS = {
+    "uniform": None,
+    "encode-all": _EncodeAll(),
+    "optimistic": _Optimistic(),
+}
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE)
+    warm(ctx, QUERY)
+    return ctx
+
+
+@pytest.mark.parametrize("estimator_name", list(ESTIMATORS))
+def test_ablation_estimator(benchmark, context, estimator_name):
+    replacement = ESTIMATORS[estimator_name]
+    original = context.estimator
+
+    def run():
+        if replacement is not None:
+            context.estimator = replacement
+        try:
+            return run_topk(context, "sso", QUERY, K)
+        finally:
+            context.estimator = original
+
+    result = benchmark.pedantic(run, rounds=3, warmup_rounds=1)
+    benchmark.extra_info["relaxations_used"] = result.relaxations_used
+    benchmark.extra_info["restarts"] = result.restarts

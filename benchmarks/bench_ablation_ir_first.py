@@ -1,0 +1,55 @@
+"""Ablation — structure-first vs IR-first evaluation order (§5.1).
+
+The paper: "An alternative possibility would first use an inverted index
+to evaluate the contains predicates and filter out potential answers ...
+The efficiency of each approach depends on the types of queries." This
+bench runs the comparison the paper deferred:
+
+- a *selective* full-text expression (rare marker terms): IR-first should
+  win by skipping structural work for non-matching items;
+- an *unselective* expression (common vocabulary words): the pre-filter
+  admits nearly everything and becomes overhead.
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, query
+from repro.topk import DPO, IRFirstDPO
+
+SIZE = "10MB"
+K = 10
+
+QUERIES = {
+    "selective": '//item[./mailbox/mail/text[.contains("vintage" and "treasure")]]',
+    "unselective": '//item[./mailbox/mail/text[.contains("time" or "year" or "day")]]',
+}
+
+_STRATEGIES = {"structure-first-eval": DPO, "ir-first-eval": IRFirstDPO}
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE)
+    # Warm IR caches for both expressions.
+    for text in QUERIES.values():
+        DPO(ctx).top_k(query(text), 2)
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def strategies(context):
+    return {name: cls(context) for name, cls in _STRATEGIES.items()}
+
+
+@pytest.mark.parametrize("selectivity", list(QUERIES))
+@pytest.mark.parametrize("strategy_name", list(_STRATEGIES))
+def test_ablation_ir_first(benchmark, strategies, strategy_name, selectivity):
+    strategy = strategies[strategy_name]
+    tpq = query(QUERIES[selectivity])
+    result = benchmark.pedantic(
+        strategy.top_k, args=(tpq, K), rounds=3, warmup_rounds=1
+    )
+    benchmark.extra_info["answers"] = len(result.answers)
+    benchmark.extra_info["tuples"] = sum(
+        s.tuples_produced for s in result.stats
+    )

@@ -1,0 +1,35 @@
+"""Ablation — naive query rewriting vs DPO vs SSO (§1's rejected baseline).
+
+The "naive solution" writes out every relaxed query and evaluates them all.
+DPO adds early stopping and cross-level answer memory; SSO replaces the
+whole walk with one encoded plan. Expected ordering at small K:
+naive ≥ DPO ≥ SSO, with naive paying for every level regardless of K.
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, query, warm
+from repro.topk import DPO, NaiveRewriting, SSO
+
+SIZE = "10MB"
+QUERY = "Q2"
+K = 10
+
+_ALGORITHMS = {"naive": NaiveRewriting, "dpo": DPO, "sso": SSO}
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE)
+    warm(ctx, QUERY)
+    return ctx
+
+
+@pytest.mark.parametrize("algorithm", list(_ALGORITHMS))
+def test_ablation_naive(benchmark, context, algorithm):
+    strategy = _ALGORITHMS[algorithm](context)
+    tpq = query(QUERY)
+    result = benchmark.pedantic(
+        strategy.top_k, args=(tpq, K), rounds=3, warmup_rounds=1
+    )
+    benchmark.extra_info["levels_evaluated"] = result.levels_evaluated

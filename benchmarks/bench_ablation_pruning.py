@@ -1,0 +1,38 @@
+"""Ablation — threshold / maxScoreGrowth pruning on vs off (§5.2.2).
+
+Runs the same fully-relaxed SSO plan with pruning enabled (k given) and
+disabled (k = None). Expected: pruning never hurts, and pays off most when
+K is small relative to the candidate answer set.
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, query, warm
+from repro.plans import SSO_MODE, build_encoded_plan
+from repro.rank import STRUCTURE_FIRST
+
+SIZE = "10MB"
+QUERY = "Q3"
+
+
+@pytest.fixture(scope="module")
+def setup():
+    context = context_for(SIZE)
+    warm(context, QUERY)
+    schedule = context.schedule(query(QUERY))
+    plan = build_encoded_plan(schedule, len(schedule))
+    return context, plan
+
+
+@pytest.mark.parametrize("k", [5, 50, None])
+def test_ablation_pruning(benchmark, setup, k):
+    context, plan = setup
+
+    def run():
+        return context.executor.run(
+            plan, k=k, scheme=STRUCTURE_FIRST, mode=SSO_MODE
+        )
+
+    result = benchmark.pedantic(run, rounds=3, warmup_rounds=1)
+    benchmark.extra_info["pruned_tuples"] = result.stats.tuples_pruned
+    benchmark.extra_info["max_intermediate"] = result.stats.max_intermediate

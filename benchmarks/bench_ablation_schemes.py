@@ -1,0 +1,43 @@
+"""Ablation — evaluation cost of the three ranking schemes (§4.2 prop. 3).
+
+Same query, K, document and algorithm under structure-first, combined and
+keyword-first ranking. Expected: structure-first is cheapest (stops at the
+K-th level), combined pays for the §5.1 look-ahead window, keyword-first is
+the most expensive — it must encode every relaxation.
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, run_topk, warm
+from repro.rank import COMBINED, KEYWORD_FIRST, STRUCTURE_FIRST
+
+SIZE = "10MB"
+QUERY = "Q2"
+K = 40
+
+SCHEMES = {
+    "structure-first": STRUCTURE_FIRST,
+    "combined": COMBINED,
+    "keyword-first": KEYWORD_FIRST,
+}
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE)
+    warm(ctx, QUERY)
+    return ctx
+
+
+@pytest.mark.parametrize("scheme_name", list(SCHEMES))
+@pytest.mark.parametrize("algorithm", ["dpo", "hybrid"])
+def test_ablation_schemes(benchmark, context, algorithm, scheme_name):
+    result = benchmark.pedantic(
+        run_topk,
+        args=(context, algorithm, QUERY, K),
+        kwargs={"scheme": SCHEMES[scheme_name]},
+        rounds=3,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["relaxations_used"] = result.relaxations_used
+    benchmark.extra_info["levels_evaluated"] = result.levels_evaluated

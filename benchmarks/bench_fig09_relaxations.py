@@ -1,0 +1,32 @@
+"""Figure 9 — DPO vs SSO as the number of relaxations grows.
+
+Paper setup: 1 MB document, K = 50, queries Q1 (no relaxation needed),
+Q2 (2 relaxations), Q3 (6 relaxations). Expected shape: SSO beats DPO and
+the gap widens with the number of relaxations.
+
+Scaled here to the 100 KB document and K = 20 (see harness docstring).
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, run_topk, warm
+
+SIZE = "1MB"
+K = 20
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE)
+    for name in ("Q1", "Q2", "Q3"):
+        warm(ctx, name)
+    return ctx
+
+
+@pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3"])
+@pytest.mark.parametrize("algorithm", ["dpo", "sso"])
+def test_fig09(benchmark, context, query_name, algorithm):
+    result = benchmark(run_topk, context, algorithm, query_name, K)
+    assert len(result.answers) <= K
+    benchmark.extra_info["relaxations_used"] = result.relaxations_used
+    benchmark.extra_info["answers"] = len(result.answers)

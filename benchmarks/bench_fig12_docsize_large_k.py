@@ -1,0 +1,31 @@
+"""Figure 12 — DPO vs SSO over document size, large K.
+
+Paper setup: query Q2, K = 500, documents 1-100 MB. Expected shape: with
+K large, many relaxations get encoded; intermediate results grow with both
+document size and K, and SSO's pruning pulls ahead of DPO — the gap grows
+with document size.
+
+Scaled here to 100 KB - 1.6 MB documents with K = 200.
+"""
+
+import pytest
+
+from benchmarks.harness import SIZES, context_for, run_topk, warm
+
+QUERY = "Q2"
+K = 200
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.parametrize("algorithm", ["dpo", "sso"])
+def test_fig12(benchmark, size, algorithm):
+    context = context_for(size)
+    warm(context, QUERY)
+    result = benchmark.pedantic(
+        run_topk,
+        args=(context, algorithm, QUERY, K),
+        rounds=3,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["relaxations_used"] = result.relaxations_used
+    benchmark.extra_info["answers"] = len(result.answers)

@@ -1,0 +1,40 @@
+"""Figure 13 — SSO vs Hybrid as the number of relaxations grows.
+
+Paper setup: 10 MB document, K = 500, varying the number of relaxations.
+Expected shape: Hybrid consistently at or below SSO, with the gap growing
+as more relaxations mean more intermediate results for SSO to re-sort.
+
+Scaled here to the 400 KB document, K = 200; the number of relaxations is
+varied by capping the schedule (max_relaxations), the same lever the
+paper's queries vary structurally.
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, query, run_topk, warm
+
+SIZE = "10MB"
+QUERY = "Q3"
+K = 200
+RELAXATION_CAPS = [0, 2, 4, 8, 12]
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE)
+    warm(ctx, QUERY)
+    return ctx
+
+
+@pytest.mark.parametrize("relaxations", RELAXATION_CAPS)
+@pytest.mark.parametrize("algorithm", ["sso", "hybrid"])
+def test_fig13(benchmark, context, algorithm, relaxations):
+    result = benchmark.pedantic(
+        run_topk,
+        args=(context, algorithm, QUERY, K),
+        kwargs={"max_relaxations": relaxations},
+        rounds=3,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["relaxations_used"] = result.relaxations_used
+    benchmark.extra_info["answers"] = len(result.answers)

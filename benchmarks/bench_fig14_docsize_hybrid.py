@@ -1,0 +1,30 @@
+"""Figure 14 — SSO vs Hybrid over document size.
+
+Paper setup: query Q3, K = 500, documents 1-100 MB. Expected shape:
+Hybrid ≤ SSO everywhere, difference growing with document size (bigger
+intermediate results to re-sort).
+
+Scaled here to 100 KB - 1.6 MB documents with K = 200.
+"""
+
+import pytest
+
+from benchmarks.harness import SIZES, context_for, run_topk, warm
+
+QUERY = "Q3"
+K = 200
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.parametrize("algorithm", ["sso", "hybrid"])
+def test_fig14(benchmark, size, algorithm):
+    context = context_for(size)
+    warm(context, QUERY)
+    result = benchmark.pedantic(
+        run_topk,
+        args=(context, algorithm, QUERY, K),
+        rounds=3,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["relaxations_used"] = result.relaxations_used
+    benchmark.extra_info["answers"] = len(result.answers)

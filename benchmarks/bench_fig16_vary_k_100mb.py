@@ -1,0 +1,36 @@
+"""Figure 16 — SSO vs Hybrid as K grows, large document.
+
+Paper setup: query Q3, 100 MB document, varying K. Expected shape: same
+as Figure 15 but with bigger absolute gaps — larger documents mean larger
+intermediate result sets for SSO to keep sorted on score.
+
+Scaled here to the 1.6 MB document with K from 2 to 240 (K=2 sits below the exact-answer count, reproducing the paper's left-end parity).
+"""
+
+import pytest
+
+from benchmarks.harness import context_for, run_topk, warm
+
+SIZE = "100MB"
+QUERY = "Q3"
+K_SERIES = [2, 20, 60, 120, 240]
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE)
+    warm(ctx, QUERY)
+    return ctx
+
+
+@pytest.mark.parametrize("k", K_SERIES)
+@pytest.mark.parametrize("algorithm", ["sso", "hybrid"])
+def test_fig16(benchmark, context, algorithm, k):
+    result = benchmark.pedantic(
+        run_topk,
+        args=(context, algorithm, QUERY, k),
+        rounds=3,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["relaxations_used"] = result.relaxations_used
+    benchmark.extra_info["answers"] = len(result.answers)

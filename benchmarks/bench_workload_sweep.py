@@ -1,0 +1,48 @@
+"""Workload sweep — the three algorithms over generated query mixes.
+
+Beyond the paper's three hand-picked queries: a batch of structurally
+diverse, guaranteed-satisfiable queries sampled from the document itself,
+evaluated end to end per algorithm. This is the robustness check a
+downstream adopter would run before trusting the Q1-Q3 figures.
+"""
+
+import pytest
+
+from benchmarks.harness import context_for
+from repro.topk import DPO, Hybrid, SSO
+from repro.workload import generate_workload
+
+SIZE = "1MB"
+K = 10
+WORKLOAD_SIZE = 12
+
+_ALGORITHMS = {"dpo": DPO, "sso": SSO, "hybrid": Hybrid}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    context = context_for(SIZE)
+    workload = generate_workload(
+        context.document, WORKLOAD_SIZE, seed=17, contains_probability=0.4
+    )
+    # Warm schedules and IR caches once.
+    strategy = SSO(context)
+    for query in workload:
+        strategy.top_k(query, 2)
+    return context, workload
+
+
+@pytest.mark.parametrize("algorithm", list(_ALGORITHMS))
+def test_workload_sweep(benchmark, setup, algorithm):
+    context, workload = setup
+    strategy = _ALGORITHMS[algorithm](context)
+
+    def run_batch():
+        total = 0
+        for query in workload:
+            total += len(strategy.top_k(query, K).answers)
+        return total
+
+    answers = benchmark.pedantic(run_batch, rounds=3, warmup_rounds=1)
+    benchmark.extra_info["total_answers"] = answers
+    benchmark.extra_info["queries"] = len(workload)

@@ -1,0 +1,66 @@
+"""Summarize a saved benchmark run into per-figure series.
+
+Usage::
+
+    python benchmarks/summarize.py bench_output.txt
+
+Parses the pytest-benchmark table from a captured run and prints, for each
+figure/ablation module, the median time per parameter combination — the
+rows the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from collections import defaultdict
+
+_ROW = re.compile(
+    r"^(test_\w+)\[([^\]]+)\]\s+"          # name[params]
+    r"([\d,.]+)\s+\(.*?\)\s+"               # min
+    r"([\d,.]+)\s+\(.*?\)\s+"               # max
+    r"([\d,.]+)\s+\(.*?\)\s+"               # mean
+    r"([\d,.]+)\s+\(.*?\)\s+"               # stddev
+    r"([\d,.]+)\s+\(.*?\)"                   # median
+)
+
+_UNIT = re.compile(r"benchmark: .*|Name \(time in (\w+)\)")
+
+
+def parse(path):
+    unit = "ms"
+    rows = defaultdict(list)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            unit_match = re.search(r"Name \(time in (\w+)\)", line)
+            if unit_match:
+                unit = unit_match.group(1)
+            row = _ROW.match(line.strip())
+            if row:
+                name, params = row.group(1), row.group(2)
+                median = float(row.group(7).replace(",", ""))
+                if unit == "us":
+                    median /= 1000.0
+                elif unit == "s":
+                    median *= 1000.0
+                rows[name].append((params, median))
+    return rows
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    rows = parse(argv[1])
+    if not rows:
+        print("no benchmark rows found in %s" % argv[1])
+        return 1
+    for name in sorted(rows):
+        print("\n%s (median ms):" % name)
+        for params, median in sorted(rows[name]):
+            print("  %-28s %10.1f" % (params, median))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,76 @@
+"""Quickstart: flexible structure + full-text querying in five minutes.
+
+Builds a tiny article collection, issues the paper's running query, and
+shows how FleXPath relaxes it when strict XPath semantics would starve the
+result list.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FleXPath
+
+XML = """
+<library>
+ <article>
+  <title>Streaming XML</title>
+  <section>
+   <title>Evaluation</title>
+   <algorithm>procedure one</algorithm>
+   <paragraph>Algorithms for streaming XML data processing.</paragraph>
+  </section>
+ </article>
+ <article>
+  <section>
+   <title>XML streaming survey</title>
+   <paragraph>General overview of engines.</paragraph>
+   <subsection><algorithm>procedure two</algorithm></subsection>
+  </section>
+ </article>
+ <article>
+  <abstract>We study streaming XML algorithms.</abstract>
+  <section><paragraph>Nothing about the topic here.</paragraph></section>
+ </article>
+</library>
+"""
+
+QUERY = (
+    '//article[.//algorithm and ./section[./paragraph'
+    ' and .contains("XML" and "streaming")]]'
+)
+
+
+def main():
+    engine = FleXPath.from_xml(XML)
+
+    print("=== strict XPath semantics ===")
+    strict = engine.exact(QUERY)
+    print("exact matches: %d article(s)\n" % len(strict))
+
+    print("=== the relaxation schedule FleXPath considers ===")
+    print(engine.explain(QUERY, k=3))
+    print()
+
+    print("=== flexible top-3 (hybrid algorithm, structure-first) ===")
+    result = engine.query(QUERY, k=3, algorithm="hybrid")
+    for rank, answer in enumerate(result.answers, start=1):
+        title = engine.document.descendants_with_tag(answer.node, "title")
+        label = title[0].text if title else "(untitled)"
+        print(
+            "%d. node %-3d %-28s ss=%.3f ks=%.3f relaxations=%d"
+            % (
+                rank,
+                answer.node_id,
+                label[:28],
+                answer.score.structural,
+                answer.score.keyword,
+                answer.relaxation_level,
+            )
+        )
+    print(
+        "\nStrict evaluation returned %d answer(s); FleXPath found %d, "
+        "ranking the exact matches first." % (len(strict), len(result.answers))
+    )
+
+
+if __name__ == "__main__":
+    main()

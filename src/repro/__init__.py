@@ -1,0 +1,77 @@
+"""FleXPath: flexible structure and full-text querying for XML.
+
+A from-scratch reproduction of Amer-Yahia, Lakshmanan & Pandit,
+"FleXPath: Flexible Structure and Full-Text Querying for XML",
+SIGMOD 2004.
+
+Quick start::
+
+    from repro import FleXPath
+
+    engine = FleXPath.from_xml(open("corpus.xml").read())
+    result = engine.query(
+        '//article[./section[./paragraph and .contains("XML" and "streaming")]]',
+        k=10, scheme="structure-first", algorithm="hybrid",
+    )
+    for answer in result.answers:
+        print(answer.node_id, answer.score)
+"""
+
+from repro.engine import FleXPath
+from repro.errors import (
+    EvaluationError,
+    FleXPathError,
+    FTExprParseError,
+    InvalidQueryError,
+    InvalidRelaxationError,
+    QueryParseError,
+    XMLParseError,
+)
+from repro.ir import IREngine, parse_ftexpr
+from repro.query import TPQ, parse_query
+from repro.rank import (
+    COMBINED,
+    KEYWORD_FIRST,
+    STRUCTURE_FIRST,
+    AnswerScore,
+    ScoredAnswer,
+)
+from repro.relax import PenaltyModel, RelaxationSchedule, WeightAssignment
+from repro.topk import DPO, SSO, Hybrid, QueryContext, TopKResult
+from repro.xmltree import Document, build_document, element, parse, parse_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerScore",
+    "COMBINED",
+    "DPO",
+    "Document",
+    "EvaluationError",
+    "FTExprParseError",
+    "FleXPath",
+    "FleXPathError",
+    "Hybrid",
+    "IREngine",
+    "InvalidQueryError",
+    "InvalidRelaxationError",
+    "KEYWORD_FIRST",
+    "PenaltyModel",
+    "QueryContext",
+    "QueryParseError",
+    "RelaxationSchedule",
+    "SSO",
+    "STRUCTURE_FIRST",
+    "ScoredAnswer",
+    "TPQ",
+    "TopKResult",
+    "WeightAssignment",
+    "XMLParseError",
+    "build_document",
+    "element",
+    "parse",
+    "parse_file",
+    "parse_ftexpr",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+- ``query FILE QUERY``    top-K flexible evaluation
+- ``exact FILE QUERY``    strict XPath-fragment semantics, no relaxation
+- ``explain FILE QUERY``  show the relaxation schedule and plan choice
+- ``search FILE FTEXPR``  content-only keyword search (no structure)
+- ``generate``            emit an XMark-like document to stdout or a file
+- ``stats FILE``          document and tag statistics
+
+Examples::
+
+    python -m repro generate --size-kb 200 --seed 7 -o auctions.xml
+    python -m repro query auctions.xml '//item[./description/parlist]' -k 5
+    python -m repro explain auctions.xml '//item[./mailbox/mail/text]'
+    python -m repro search auctions.xml '"gold" and "vintage"' -k 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine import FleXPath
+from repro.errors import FleXPathError
+from repro.xmark import generate_document
+from repro.xmltree.serialize import to_xml
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FleXPath: flexible structure and full-text querying for XML",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="top-K flexible evaluation")
+    query.add_argument("file", help="XML document")
+    query.add_argument("query", help="XPath-fragment query")
+    query.add_argument("-k", type=int, default=10, help="answers to return")
+    query.add_argument(
+        "--algorithm",
+        choices=("dpo", "sso", "hybrid"),
+        default="hybrid",
+    )
+    query.add_argument(
+        "--scheme",
+        choices=("structure-first", "keyword-first", "combined"),
+        default="structure-first",
+    )
+    query.add_argument(
+        "--max-relaxations", type=int, default=None, metavar="N",
+        help="cap the relaxation schedule",
+    )
+    query.add_argument(
+        "--show-text", action="store_true",
+        help="print a text snippet for each answer",
+    )
+
+    exact = commands.add_parser("exact", help="strict evaluation, no relaxation")
+    exact.add_argument("file")
+    exact.add_argument("query")
+
+    explain = commands.add_parser("explain", help="show the relaxation schedule")
+    explain.add_argument("file")
+    explain.add_argument("query")
+    explain.add_argument("-k", type=int, default=10)
+
+    search = commands.add_parser("search", help="content-only keyword search")
+    search.add_argument("file")
+    search.add_argument("ftexpr", help='full-text expression, e.g. \'"a" and "b"\'')
+    search.add_argument("-k", type=int, default=10)
+
+    generate = commands.add_parser("generate", help="emit XMark-like data")
+    generate.add_argument("--size-kb", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("-o", "--output", default=None, help="file (default stdout)")
+
+    stats = commands.add_parser("stats", help="document statistics")
+    stats.add_argument("file")
+    stats.add_argument(
+        "--tags", type=int, default=15, metavar="N",
+        help="show the N most frequent tags",
+    )
+
+    return parser
+
+
+def main(argv=None, out=None):
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except FleXPathError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+def _dispatch(args, out):
+    if args.command == "generate":
+        return _cmd_generate(args, out)
+    engine = FleXPath.from_file(args.file)
+    if args.command == "query":
+        return _cmd_query(engine, args, out)
+    if args.command == "exact":
+        return _cmd_exact(engine, args, out)
+    if args.command == "explain":
+        print(engine.explain(args.query, k=args.k), file=out)
+        return 0
+    if args.command == "search":
+        return _cmd_search(engine, args, out)
+    if args.command == "stats":
+        return _cmd_stats(engine, args, out)
+    raise FleXPathError("unknown command %r" % args.command)
+
+
+def _snippet(document, node, width=60):
+    text = document.full_text(node)
+    if len(text) > width:
+        text = text[: width - 3] + "..."
+    return text
+
+
+def _cmd_query(engine, args, out):
+    result = engine.query(
+        args.query,
+        k=args.k,
+        scheme=args.scheme,
+        algorithm=args.algorithm,
+        max_relaxations=args.max_relaxations,
+    )
+    print(
+        "# %s, %s, K=%d, relaxations used: %d"
+        % (result.algorithm, result.scheme.name, args.k, result.relaxations_used),
+        file=out,
+    )
+    for rank, answer in enumerate(result.answers, start=1):
+        line = "%3d. node %-6d <%s>  ss=%.3f ks=%.3f level=%d" % (
+            rank,
+            answer.node_id,
+            answer.node.tag,
+            answer.score.structural,
+            answer.score.keyword,
+            answer.relaxation_level,
+        )
+        if args.show_text:
+            line += "  | %s" % _snippet(engine.document, answer.node)
+        print(line, file=out)
+    return 0
+
+
+def _cmd_exact(engine, args, out):
+    nodes = engine.exact(args.query)
+    print("# %d exact match(es)" % len(nodes), file=out)
+    for node in nodes:
+        print("node %-6d <%s>" % (node.node_id, node.tag), file=out)
+    return 0
+
+
+def _cmd_search(engine, args, out):
+    from repro.ir.ftexpr import parse_ftexpr
+    from repro.ir.highlight import snippet as make_snippet
+
+    expression = parse_ftexpr(args.ftexpr)
+    matches = engine.keyword_search(args.ftexpr, k=args.k)
+    print("# %d most specific match(es)" % len(matches), file=out)
+    for rank, match in enumerate(matches, start=1):
+        text = engine.document.full_text(match.node)
+        print(
+            "%3d. node %-6d <%s>  score=%.3f  | %s"
+            % (
+                rank,
+                match.node.node_id,
+                match.node.tag,
+                match.score,
+                make_snippet(text, expression, width=60),
+            ),
+            file=out,
+        )
+    return 0
+
+
+def _cmd_generate(args, out):
+    document = generate_document(
+        target_bytes=args.size_kb * 1024, seed=args.seed
+    )
+    text = to_xml(document)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            "wrote %d elements (%d bytes) to %s"
+            % (len(document), len(text), args.output),
+            file=out,
+        )
+    else:
+        out.write(text)
+    return 0
+
+
+def _cmd_stats(engine, args, out):
+    document = engine.document
+    summary = document.stats_summary()
+    print(
+        "elements: %(nodes)d   distinct tags: %(tags)d   depth: %(depth)d"
+        "   text bytes: %(text_bytes)d" % summary,
+        file=out,
+    )
+    counts = sorted(
+        ((document.count(tag), tag) for tag in document.tags), reverse=True
+    )
+    print("\nmost frequent tags:", file=out)
+    for count, tag in counts[: args.tags]:
+        print("  %-20s %6d" % (tag, count), file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

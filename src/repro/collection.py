@@ -1,0 +1,114 @@
+"""Document collections.
+
+The paper's data model is "a data tree (i.e., an XML document collection)"
+— a single tree whose root spans every document. This module provides the
+glue: combine several parsed fragments or files under one virtual root so
+the whole FleXPath stack (region encoding, statistics, IR engine) sees one
+tree, plus helpers to recover which source document an answer came from.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FleXPathError
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.parser import parse
+
+
+class DocumentCollection:
+    """Several XML documents combined under a single virtual root."""
+
+    def __init__(self, document, boundaries, names):
+        self._document = document
+        self._boundaries = boundaries  # [(start, end, index)] sorted by start
+        self._names = names
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_texts(cls, texts, names=None, root_tag="collection"):
+        """Combine XML strings into one collection document."""
+        if not texts:
+            raise FleXPathError("a collection needs at least one document")
+        if names is None:
+            names = ["doc%d" % index for index in range(len(texts))]
+        if len(names) != len(texts):
+            raise FleXPathError("names and texts must align")
+
+        builder = TreeBuilder()
+        builder.start(root_tag)
+        boundaries = []
+        for index, text in enumerate(texts):
+            fragment = parse(text)
+            start_id = _copy_into(builder, fragment)
+            boundaries.append((start_id, index))
+        builder.end()
+        document = builder.finish()
+
+        spans = []
+        for (start_id, index) in boundaries:
+            node = document.node(start_id)
+            spans.append((node.start, node.end, index))
+        return cls(document, spans, list(names))
+
+    @classmethod
+    def from_files(cls, paths, root_tag="collection"):
+        """Combine XML files into one collection document."""
+        texts = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                texts.append(handle.read())
+        return cls.from_texts(texts, names=[str(p) for p in paths],
+                              root_tag=root_tag)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def document(self):
+        """The combined region-encoded document."""
+        return self._document
+
+    @property
+    def names(self):
+        return list(self._names)
+
+    def __len__(self):
+        return len(self._names)
+
+    def source_of(self, node):
+        """Return the name of the source document containing ``node``.
+
+        The virtual root itself belongs to no source and returns None.
+        """
+        for start, end, index in self._boundaries:
+            if start <= node.start < end:
+                return self._names[index]
+        return None
+
+    def root_of(self, name):
+        """Return the root node of the named source document."""
+        try:
+            index = self._names.index(name)
+        except ValueError:
+            raise FleXPathError("no document named %r" % name) from None
+        start, _end, _index = self._boundaries[index]
+        return self._document.node(start)
+
+
+def _copy_into(builder, fragment):
+    """Replay a parsed fragment into an open builder; returns the new id of
+    the fragment root."""
+    root_id = None
+
+    def emit(node):
+        nonlocal root_id
+        new_id = builder.start(node.tag, dict(node.attributes) or None)
+        if root_id is None:
+            root_id = new_id
+        if node.text:
+            builder.add_text(node.text)
+        for child_id in node.child_ids:
+            emit(fragment.node(child_id))
+        builder.end()
+
+    emit(fragment.root)
+    return root_id

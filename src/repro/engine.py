@@ -1,0 +1,170 @@
+"""The FleXPath system facade (Figure 7).
+
+One object wires the whole architecture together: parse the user query,
+generate relaxations, evaluate structural predicates through the plan
+engine, evaluate ``contains`` through the IR engine, combine nodes and
+scores, return ranked top-K results.
+
+Typical use::
+
+    from repro import FleXPath
+
+    engine = FleXPath.from_xml(xml_text)
+    results = engine.query(
+        '//article[.//algorithm and ./section[./paragraph'
+        ' and .contains("XML" and "streaming")]]',
+        k=10,
+    )
+    for answer in results.answers:
+        print(answer.node.tag, answer.score)
+"""
+
+from __future__ import annotations
+
+from repro.errors import FleXPathError
+from repro.query.parser import parse_query
+from repro.query.tpq import TPQ
+from repro.rank.schemes import STRUCTURE_FIRST, scheme_by_name
+from repro.relax.penalties import UNIFORM_WEIGHTS
+from repro.topk.base import QueryContext
+from repro.topk.dpo import DPO
+from repro.topk.hybrid import Hybrid
+from repro.topk.sso import SSO
+from repro.xmltree.parser import parse as parse_xml
+from repro.xmltree.parser import parse_file as parse_xml_file
+
+_ALGORITHMS = {"dpo": DPO, "sso": SSO, "hybrid": Hybrid}
+
+DEFAULT_ALGORITHM = "hybrid"
+
+
+class FleXPath:
+    """Flexible structure + full-text querying over one XML document."""
+
+    def __init__(self, document, weights=UNIFORM_WEIGHTS):
+        self._context = QueryContext(document, weights=weights)
+        self._algorithms = {
+            name: cls(self._context) for name, cls in _ALGORITHMS.items()
+        }
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text, weights=UNIFORM_WEIGHTS):
+        """Build an engine from an XML string."""
+        return cls(parse_xml(text), weights=weights)
+
+    @classmethod
+    def from_file(cls, path, weights=UNIFORM_WEIGHTS):
+        """Build an engine from an XML file."""
+        return cls(parse_xml_file(path), weights=weights)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def document(self):
+        return self._context.document
+
+    @property
+    def context(self):
+        """The underlying :class:`~repro.topk.base.QueryContext`."""
+        return self._context
+
+    # -- querying -----------------------------------------------------------------
+
+    def parse(self, query_text):
+        """Parse an XPath-fragment string into a TPQ."""
+        return parse_query(query_text)
+
+    def query(self, query, k=10, scheme=STRUCTURE_FIRST,
+              algorithm=DEFAULT_ALGORITHM, max_relaxations=None):
+        """Evaluate a top-K query with relaxation.
+
+        Args:
+            query: an XPath-fragment string or a :class:`TPQ`.
+            k: how many answers to return.
+            scheme: a ranking scheme object or name ("structure-first",
+                "keyword-first", "combined").
+            algorithm: "dpo", "sso", or "hybrid".
+            max_relaxations: cap on relaxation schedule length (None = all).
+
+        Returns:
+            A :class:`~repro.topk.base.TopKResult`.
+        """
+        tpq = self._coerce_query(query)
+        if isinstance(scheme, str):
+            scheme = scheme_by_name(scheme)
+        try:
+            strategy = self._algorithms[algorithm.lower()]
+        except (KeyError, AttributeError):
+            raise FleXPathError(
+                "unknown algorithm %r (choose from %s)"
+                % (algorithm, ", ".join(sorted(_ALGORITHMS)))
+            ) from None
+        return strategy.top_k(tpq, k, scheme=scheme, max_relaxations=max_relaxations)
+
+    def exact(self, query):
+        """Evaluate with strict XPath semantics — no relaxation.
+
+        Returns the list of matching nodes in document order (the baseline
+        the paper's "strict interpretation" discussion refers to).
+        """
+        from repro.query.evaluate import evaluate
+
+        tpq = self._coerce_query(query)
+        oracle = self._contains_oracle()
+        return evaluate(tpq, self.document, contains_oracle=oracle)
+
+    def keyword_search(self, ftexpr_text, k=10):
+        """Pure content-only search — the Q6 extreme of the spectrum.
+
+        Evaluates a full-text expression with no structural template at all
+        and returns the top-K most specific elements, ranked by keyword
+        score (the CO search of the IR literature the paper builds on).
+        """
+        from repro.ir.ftexpr import parse_ftexpr
+
+        expression = parse_ftexpr(ftexpr_text)
+        matches = self._context.ir.most_specific_matches(expression)
+        return matches[:k]
+
+    def relaxations(self, query, max_steps=None):
+        """Return the relaxation schedule FleXPath would use for a query."""
+        return self._context.schedule(
+            self._coerce_query(query), max_steps=max_steps
+        )
+
+    def explain(self, query, k=10, scheme=STRUCTURE_FIRST):
+        """Return a human-readable description of the evaluation strategy."""
+        tpq = self._coerce_query(query)
+        if isinstance(scheme, str):
+            scheme = scheme_by_name(scheme)
+        schedule = self._context.schedule(tpq)
+        sso = self._algorithms["sso"]
+        level = sso.choose_level(schedule, k, scheme, len(tpq.contains))
+        lines = [
+            "query: %s" % tpq.to_xpath(),
+            "ranking scheme: %s" % scheme.name,
+            "available relaxations: %d" % len(schedule),
+            "estimated level to encode for K=%d: %d" % (k, level),
+            "",
+            schedule.describe(),
+        ]
+        return "\n".join(lines)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _coerce_query(self, query):
+        if isinstance(query, TPQ):
+            return query
+        if isinstance(query, str):
+            return parse_query(query)
+        raise FleXPathError("query must be a TPQ or an XPath string")
+
+    def _contains_oracle(self):
+        ir = self._context.ir
+
+        def oracle(node, ftexpr):
+            return ir.satisfies(node, ftexpr)
+
+        return oracle

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the FleXPath reproduction.
+
+All library errors derive from :class:`FleXPathError` so callers can catch a
+single base class. Subclasses mirror the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class FleXPathError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLParseError(FleXPathError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the byte offset and a short description of the problem.
+    """
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "%s (at offset %d)" % (message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class QueryParseError(FleXPathError):
+    """Raised when an XPath-fragment query string cannot be parsed."""
+
+
+class FTExprParseError(FleXPathError):
+    """Raised when a full-text expression cannot be parsed."""
+
+
+class InvalidQueryError(FleXPathError):
+    """Raised when a tree pattern query violates a structural invariant.
+
+    Examples: a pattern graph that is not a tree, an undefined distinguished
+    node, or a predicate referring to a variable that is not in the pattern.
+    """
+
+
+class InvalidRelaxationError(FleXPathError):
+    """Raised when a relaxation operator is applied where it is undefined.
+
+    Examples: deleting the root of a pattern, promoting a node with no
+    grandparent, or promoting a ``contains`` predicate above the root.
+    """
+
+
+class EvaluationError(FleXPathError):
+    """Raised when query evaluation fails for reasons other than bad input."""

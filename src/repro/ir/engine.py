@@ -1,0 +1,219 @@
+"""The IR engine: evaluate ``contains`` predicates against a document.
+
+Mirrors the contract the FleXPath architecture (Fig. 7) assumes of its IR
+component: given a full-text expression, return a ranked list of
+``(node, score)`` pairs for the *most specific* elements satisfying the
+expression (the semantics of [20, 29] cited in §5.1), plus point queries
+used during join processing ("does this context node satisfy the
+expression, and with what score?").
+
+Phrases and proximity windows match within a single element's direct text;
+Boolean structure and plain terms match anywhere in the subtree.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ftexpr import And, Not, Or, Phrase, Term, Window
+from repro.ir.index import InvertedIndex
+from repro.ir.matching import ftexpr_matches
+from repro.ir.scoring import positive_terms, score_subtree
+from repro.ir.tokenizer import normalize_term
+
+
+class IRMatch:
+    """One ranked answer from the IR engine."""
+
+    __slots__ = ("node", "score")
+
+    def __init__(self, node, score):
+        self.node = node
+        self.score = score
+
+    def __repr__(self):
+        return "IRMatch(node=%d, score=%.3f)" % (self.node.node_id, self.score)
+
+
+class IREngine:
+    """Evaluates full-text expressions over one document."""
+
+    def __init__(self, document, index=None):
+        self._document = document
+        self._index = index if index is not None else InvertedIndex(document)
+        self._local_match_cache = {}
+        self._most_specific_cache = {}
+        self._terms_cache = {}
+        self._count_cache = {}
+
+    @property
+    def document(self):
+        return self._document
+
+    @property
+    def index(self):
+        return self._index
+
+    # -- point queries ---------------------------------------------------------
+
+    def satisfies(self, node, expression):
+        """True if the subtree of ``node`` satisfies the expression."""
+        return self._satisfies_region(expression, node.start, node.end)
+
+    def score(self, node, expression):
+        """Keyword score of ``node`` for the expression, in [0, 1]."""
+        terms = self._positive_terms(expression)
+        return score_subtree(self._index, node, terms)
+
+    # -- ranked retrieval --------------------------------------------------------
+
+    def most_specific_matches(self, expression):
+        """Ranked ``IRMatch`` list of minimal elements satisfying the expression.
+
+        An element qualifies when its subtree satisfies the expression and
+        no proper descendant's does; results are sorted by descending score,
+        ties broken by document order.
+        """
+        if expression in self._most_specific_cache:
+            return self._most_specific_cache[expression]
+        candidates = self._candidate_nodes(expression)
+        satisfying = [
+            node
+            for node in candidates
+            if self._satisfies_region(expression, node.start, node.end)
+        ]
+        satisfying.sort(key=lambda node: node.start)
+        minimal = []
+        for index, node in enumerate(satisfying):
+            next_index = index + 1
+            if (
+                next_index < len(satisfying)
+                and satisfying[next_index].start < node.end
+            ):
+                continue  # the next satisfying node is a descendant
+            minimal.append(node)
+        matches = [IRMatch(node, self.score(node, expression)) for node in minimal]
+        matches.sort(key=lambda m: (-m.score, m.node.node_id))
+        self._most_specific_cache[expression] = matches
+        return matches
+
+    def count_satisfying(self, expression, tag=None):
+        """Number of elements satisfying the expression.
+
+        With ``tag`` given, counts only elements with that tag — this is the
+        ``#contains($i, FTExp)`` statistic of §4.3.1 (``$i`` constrained to
+        a tag). Without it, counts all satisfying elements.
+        """
+        key = (expression, tag)
+        if key in self._count_cache:
+            return self._count_cache[key]
+        if tag is None:
+            pool = list(self._document.nodes())
+        else:
+            pool = self._document.nodes_with_tag(tag)
+        count = sum(
+            1
+            for node in pool
+            if self._satisfies_region(expression, node.start, node.end)
+        )
+        self._count_cache[key] = count
+        return count
+
+    # -- internals ------------------------------------------------------------
+
+    def _positive_terms(self, expression):
+        """Positive terms of the expression, normalized like indexed text."""
+        if expression not in self._terms_cache:
+            normalized = []
+            for term in positive_terms(expression):
+                stemmed = normalize_term(term)
+                if stemmed is not None and stemmed not in normalized:
+                    normalized.append(stemmed)
+            self._terms_cache[expression] = normalized
+        return self._terms_cache[expression]
+
+    def _satisfies_region(self, expression, start, end):
+        if isinstance(expression, Term):
+            normalized = normalize_term(expression.word)
+            if normalized is None:
+                return False
+            posting = self._index.posting(normalized)
+            return posting is not None and posting.subtree_has(start, end)
+        if isinstance(expression, And):
+            return all(
+                self._satisfies_region(child, start, end)
+                for child in expression.children
+            )
+        if isinstance(expression, Or):
+            return any(
+                self._satisfies_region(child, start, end)
+                for child in expression.children
+            )
+        if isinstance(expression, Not):
+            return not self._satisfies_region(expression.child, start, end)
+        if isinstance(expression, (Phrase, Window)):
+            local_ids = self._local_match_ids(expression)
+            # Binary-search for a locally matching element inside the region.
+            import bisect
+
+            lo = bisect.bisect_left(local_ids, start)
+            return lo < len(local_ids) and local_ids[lo] < end
+        raise TypeError("unknown full-text expression %r" % (expression,))
+
+    def _local_match_ids(self, expression):
+        """Sorted ids of elements whose *direct* text satisfies the
+        phrase/window expression."""
+        if expression in self._local_match_cache:
+            return self._local_match_cache[expression]
+        words = [normalize_term(word) for word in expression.terms()]
+        words = [word for word in words if word is not None]
+        candidate_ids = None
+        for word in words:
+            posting = self._index.posting(word)
+            ids = set(posting.node_ids) if posting else set()
+            candidate_ids = ids if candidate_ids is None else candidate_ids & ids
+        result = []
+        if candidate_ids:
+            for node_id in sorted(candidate_ids):
+                node = self._document.node(node_id)
+                positions = {}
+                for word in set(words):
+                    posting = self._index.posting(word)
+                    positions[word] = list(posting.positions_of(node_id))
+                if self._local_expression_holds(expression, positions):
+                    result.append(node_id)
+        self._local_match_cache[expression] = result
+        return result
+
+    @staticmethod
+    def _local_expression_holds(expression, positions):
+        # Rebuild a minimal token table and reuse the reference matcher.
+        from repro.ir import matching
+
+        if isinstance(expression, Phrase):
+            return matching._phrase_matches(expression.words, positions)
+        return matching._window_matches(expression, positions)
+
+    # -- convenience -------------------------------------------------------------
+
+    def matches_text(self, expression, text):
+        """Check an expression against free-standing text (testing helper)."""
+        from repro.ir.tokenizer import tokenize_and_stem
+
+        return ftexpr_matches(expression, tokenize_and_stem(text))
+
+    def _candidate_nodes(self, expression):
+        """Nodes that could possibly be minimal satisfiers: every
+        ancestor-or-self of a direct occurrence of a positive term."""
+        terms = self._positive_terms(expression)
+        seen = set()
+        nodes = []
+        for term in terms:
+            posting = self._index.posting(term)
+            if posting is None:
+                continue
+            for node_id in posting.node_ids:
+                node = self._document.node(node_id)
+                while node is not None and node.node_id not in seen:
+                    seen.add(node.node_id)
+                    nodes.append(node)
+                    node = self._document.parent(node)
+        return nodes

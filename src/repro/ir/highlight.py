@@ -1,0 +1,85 @@
+"""Result snippets with highlighted query terms.
+
+Downstream users of a full-text engine expect keyword-in-context output;
+this module produces it from the same tokenizer pipeline the index uses,
+so highlighting agrees exactly with what matched (stems, stop words and
+all).
+"""
+
+from __future__ import annotations
+
+from repro.ir.scoring import positive_terms
+from repro.ir.stemmer import stem
+from repro.ir.tokenizer import STOP_WORDS
+
+
+def _match_positions(text, stemmed_terms):
+    """Character spans of words in ``text`` whose stem is a query term."""
+    spans = []
+    start = None
+    for index, char in enumerate(text + " "):
+        if char.isalnum():
+            if start is None:
+                start = index
+        elif start is not None:
+            word = text[start:index].lower()
+            if word not in STOP_WORDS and stem(word) in stemmed_terms:
+                spans.append((start, index))
+            start = None
+    return spans
+
+
+def highlight(text, expression, marker=("**", "**")):
+    """Wrap every positive-term occurrence in ``text`` with markers."""
+    stemmed = {stem(term.lower()) for term in positive_terms(expression)}
+    spans = _match_positions(text, stemmed)
+    if not spans:
+        return text
+    open_mark, close_mark = marker
+    parts = []
+    cursor = 0
+    for start, end in spans:
+        parts.append(text[cursor:start])
+        parts.append(open_mark)
+        parts.append(text[start:end])
+        parts.append(close_mark)
+        cursor = end
+    parts.append(text[cursor:])
+    return "".join(parts)
+
+
+def snippet(text, expression, width=80, marker=("**", "**")):
+    """A window of ``text`` around the first match, highlighted.
+
+    Falls back to the (truncated) prefix when nothing matches.
+    """
+    stemmed = {stem(term.lower()) for term in positive_terms(expression)}
+    spans = _match_positions(text, stemmed)
+    if not spans:
+        return text[:width] + ("..." if len(text) > width else "")
+    first_start, first_end = spans[0]
+    center = (first_start + first_end) // 2
+    half = width // 2
+    window_start = max(0, center - half)
+    window_end = min(len(text), window_start + width)
+    window_start = max(0, window_end - width)
+
+    clipped = [
+        (max(start, window_start), min(end, window_end))
+        for start, end in spans
+        if end > window_start and start < window_end
+    ]
+    open_mark, close_mark = marker
+    parts = []
+    cursor = window_start
+    for start, end in clipped:
+        parts.append(text[cursor:start])
+        parts.append(open_mark)
+        parts.append(text[start:end])
+        parts.append(close_mark)
+        cursor = end
+    parts.append(text[cursor:window_end])
+    body = "".join(parts)
+    prefix = "..." if window_start > 0 else ""
+    suffix = "..." if window_end < len(text) else ""
+    return prefix + body + suffix

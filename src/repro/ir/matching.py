@@ -1,0 +1,110 @@
+"""Boolean satisfaction of full-text expressions over token sequences.
+
+This is the FTExp *semantics*: given the stemmed token sequence of a scope
+(an element's subtree text), decide whether the expression holds. The IR
+engine uses the inverted index to avoid materializing token lists for every
+candidate, but this module is the ground truth it must agree with.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ftexpr import And, Not, Or, Phrase, Term, Window
+from repro.ir.tokenizer import normalize_term
+
+
+def ftexpr_matches(expression, tokens):
+    """Return True if ``expression`` is satisfied by the token sequence."""
+    positions = {}
+    for index, token in enumerate(tokens):
+        positions.setdefault(token, []).append(index)
+    return _matches(expression, positions)
+
+
+def _term_positions(word, positions):
+    normalized = normalize_term(word)
+    if normalized is None:
+        return []
+    return positions.get(normalized, [])
+
+
+def _matches(expression, positions):
+    if isinstance(expression, Term):
+        return bool(_term_positions(expression.word, positions))
+    if isinstance(expression, Phrase):
+        return _phrase_matches(expression.words, positions)
+    if isinstance(expression, And):
+        return all(_matches(child, positions) for child in expression.children)
+    if isinstance(expression, Or):
+        return any(_matches(child, positions) for child in expression.children)
+    if isinstance(expression, Not):
+        return not _matches(expression.child, positions)
+    if isinstance(expression, Window):
+        return _window_matches(expression, positions)
+    raise TypeError("unknown full-text expression %r" % (expression,))
+
+
+def _phrase_matches(words, positions):
+    """All words at consecutive positions, in order.
+
+    Stop words inside phrases are skipped (they are absent from the index),
+    matching how the indexing pipeline would have dropped them.
+    """
+    kept = [normalize_term(word) for word in words]
+    kept = [word for word in kept if word is not None]
+    if not kept:
+        return False
+    if len(kept) == 1:
+        return bool(positions.get(kept[0]))
+    first = positions.get(kept[0])
+    if not first:
+        return False
+    for start in first:
+        if all(
+            (start + offset) in positions.get(word, ())
+            for offset, word in enumerate(kept[1:], start=1)
+        ):
+            return True
+    return False
+
+
+def _window_matches(expression, positions):
+    """All terms occur within ``size`` consecutive token positions.
+
+    Classic sliding-window scan: merge all occurrences tagged by term,
+    then slide over them keeping per-term counts; the expression holds
+    as soon as some window of width ``size`` covers every term.
+    """
+    terms = []
+    for word in expression.words:
+        normalized = normalize_term(word)
+        if normalized is None:
+            continue
+        terms.append(normalized)
+    if not terms:
+        return False
+    distinct = set(terms)
+    occurrences = []
+    for term in distinct:
+        term_positions = positions.get(term)
+        if not term_positions:
+            return False
+        occurrences.extend((position, term) for position in term_positions)
+    occurrences.sort()
+
+    size = expression.size
+    counts = {term: 0 for term in distinct}
+    covered = 0
+    left = 0
+    for right, (position, term) in enumerate(occurrences):
+        counts[term] += 1
+        if counts[term] == 1:
+            covered += 1
+        while position - occurrences[left][0] >= size:
+            left_term = occurrences[left][1]
+            counts[left_term] -= 1
+            if counts[left_term] == 0:
+                covered -= 1
+            left += 1
+        if covered == len(distinct):
+            return True
+    return False

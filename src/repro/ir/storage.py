@@ -1,0 +1,87 @@
+"""Persistence for the inverted index.
+
+Building the index is the single largest fixed cost in the pipeline
+(tokenizing and stemming every element's text). For a document that is
+queried across many sessions, dump the postings once and reload them —
+loading skips the linguistic pipeline entirely.
+
+Format (version 1)::
+
+    flexpath-index 1
+    <text-element-count>
+    <term>\t<node_id>:<p1>,<p2> <node_id>:<p1> ...
+    ...
+
+The dump pairs with a document (same node ids); loading against a
+different document is detected only as far as node-id bounds allow, so the
+caller owns keeping the two files together.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FleXPathError
+from repro.ir.index import InvertedIndex, Posting
+
+_MAGIC = "flexpath-index 1"
+
+
+def dump_index(index, path):
+    """Write an inverted index's postings to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_MAGIC + "\n")
+        handle.write("%d\n" % index.text_element_count)
+        for term in sorted(index._postings):
+            posting = index._postings[term]
+            entries = " ".join(
+                "%d:%s"
+                % (node_id, ",".join(str(p) for p in positions))
+                for node_id, positions in zip(
+                    posting.node_ids, posting.position_lists
+                )
+            )
+            handle.write("%s\t%s\n" % (term, entries))
+
+
+def load_index(document, path):
+    """Load postings from ``path`` into an index over ``document``."""
+    index = InvertedIndex.__new__(InvertedIndex)
+    index._document = document
+    index._postings = {}
+    node_count = len(document)
+
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _MAGIC:
+            raise FleXPathError(
+                "not a flexpath index dump (bad header %r)" % header
+            )
+        try:
+            index._text_elements = int(handle.readline())
+        except ValueError:
+            raise FleXPathError("corrupt index dump: missing count") from None
+
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            term, _sep, entries = line.partition("\t")
+            if not term or not entries:
+                raise FleXPathError("corrupt index dump near %r" % line[:40])
+            posting = Posting()
+            for entry in entries.split(" "):
+                node_field, _sep, position_field = entry.partition(":")
+                try:
+                    node_id = int(node_field)
+                    positions = [int(p) for p in position_field.split(",")]
+                except ValueError:
+                    raise FleXPathError(
+                        "corrupt index dump near %r" % entry
+                    ) from None
+                if not 0 <= node_id < node_count:
+                    raise FleXPathError(
+                        "index dump references node %d outside the document"
+                        % node_id
+                    )
+                posting.add(node_id, positions)
+            index._postings[term] = posting
+    return index

@@ -1,0 +1,45 @@
+"""Join plans: structural join primitive, relaxation-encoded plans, executor."""
+
+from repro.plans.executor import (
+    HYBRID_MODE,
+    SSO_MODE,
+    STRICT,
+    ExecutionResult,
+    ExecutionStats,
+    PlanExecutor,
+)
+from repro.plans.plan import (
+    Alternative,
+    ContainsCheck,
+    ContainsLevel,
+    Plan,
+    PlanJoin,
+    build_encoded_plan,
+    build_strict_plan,
+)
+from repro.plans.ordering import selectivity_ordered
+from repro.plans.structural_join import (
+    semi_join_ancestors,
+    semi_join_descendants,
+    structural_join,
+)
+
+__all__ = [
+    "Alternative",
+    "ContainsCheck",
+    "ContainsLevel",
+    "ExecutionResult",
+    "ExecutionStats",
+    "HYBRID_MODE",
+    "Plan",
+    "PlanExecutor",
+    "PlanJoin",
+    "SSO_MODE",
+    "STRICT",
+    "build_encoded_plan",
+    "build_strict_plan",
+    "selectivity_ordered",
+    "semi_join_ancestors",
+    "semi_join_descendants",
+    "structural_join",
+]

@@ -1,0 +1,427 @@
+"""Plan execution: the shared machinery behind DPO, SSO and Hybrid (§5.2).
+
+One executor runs a :class:`~repro.plans.plan.Plan` in one of three modes:
+
+- ``"strict"`` — plain evaluation, no pruning, no score ordering. DPO runs
+  the strict plan of each relaxation level this way.
+- ``"sso"`` — after every join the intermediate tuple list is **sorted on
+  score** so the ``threshold + maxScoreGrowth`` pruning of §5.2.2 can be
+  applied; this resorting is exactly the bottleneck the paper attributes
+  to SSO ("there is a fundamental tension between these two sort orders").
+- ``"hybrid"`` — intermediate tuples are grouped into **buckets** keyed by
+  the set of predicates they satisfied (the sequence of alternatives
+  chosen). Within a bucket all tuples have the same structural score and
+  stay sorted on node id by construction, so no sorting on scores ever
+  happens; pruning works at bucket granularity (§5.2.3).
+
+Pruning is conservative and never drops a potential top-K answer: a tuple
+is discarded only when its optimistic completion (current score +
+``maxScoreGrowth``) is strictly below the current K-th *guaranteed* score —
+guarantees come from completed answers and from tuples whose remaining
+joins are all optional.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.rank.schemes import STRUCTURE_FIRST
+from repro.rank.scores import AnswerScore, ScoredAnswer
+
+STRICT = "strict"
+SSO_MODE = "sso"
+HYBRID_MODE = "hybrid"
+
+
+@dataclass
+class ExecutionStats:
+    """Operational counters for one plan execution."""
+
+    tuples_produced: int = 0
+    tuples_pruned: int = 0
+    tuples_failed: int = 0
+    sort_operations: int = 0
+    sorted_tuples: int = 0
+    buckets_created: int = 0
+    max_intermediate: int = 0
+    answers_before_dedup: int = 0
+
+    def note_intermediate(self, size):
+        if size > self.max_intermediate:
+            self.max_intermediate = size
+
+
+@dataclass
+class ExecutionResult:
+    """Deduplicated scored answers plus execution counters."""
+
+    answers: list
+    stats: ExecutionStats
+
+
+class _Tuple:
+    """A partial match: variable bindings plus accumulated scores."""
+
+    __slots__ = ("bindings", "ss", "ks", "signature")
+
+    def __init__(self, bindings, ss, ks, signature):
+        self.bindings = bindings
+        self.ss = ss
+        self.ks = ks
+        self.signature = signature
+
+
+class PlanExecutor:
+    """Executes plans against one document + IR engine pair."""
+
+    def __init__(self, document, ir_engine):
+        self._document = document
+        self._ir = ir_engine
+        self._pool_restrictions = {}
+        self._excluded_answers = ()
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self, plan, k=None, scheme=STRUCTURE_FIRST, mode=STRICT,
+            pool_restrictions=None, exclude_answer_ids=None):
+        """Execute ``plan`` and return deduplicated scored answers.
+
+        ``k`` enables threshold pruning (sso/hybrid modes); answers are NOT
+        truncated here — top-K selection is the algorithms' job.
+
+        ``pool_restrictions`` optionally maps variables to sets of node ids
+        their bindings must come from — the hook the IR-first strategy uses
+        to seed structural matching with contains-satisfying elements
+        (§5.1's "alternative possibility").
+
+        ``exclude_answer_ids`` drops tuples whose distinguished binding is
+        already a known answer, as soon as that binding exists — DPO's
+        §5.2.2 trick for not recomputing the previous level's answers when
+        evaluating the next relaxation.
+        """
+        stats = ExecutionStats()
+        self._pool_restrictions = pool_restrictions or {}
+        self._excluded_answers = exclude_answer_ids or ()
+        var_positions = {plan.root_var: 0}
+        for index, join in enumerate(plan.joins):
+            var_positions[join.var] = index + 1
+        live_after = self._liveness(plan)
+
+        growth_ss, growth_ks, guaranteed_ss, guaranteed_ok = plan.growth_tables()
+        prune = k is not None and mode in (SSO_MODE, HYBRID_MODE)
+        distinguished_pos = var_positions[plan.distinguished]
+
+        # Guarantees are tracked per prospective answer node: several tuples
+        # guaranteeing the *same* answer must count once, or the threshold
+        # would overestimate and prune genuine top-K answers.
+        guaranteed_by_node = {}
+
+        def guarantee(item, value):
+            if distinguished_pos >= len(item.bindings):
+                return  # answer node not bound yet; no safe guarantee key
+            node = item.bindings[distinguished_pos]
+            if node is None:
+                return
+            current = guaranteed_by_node.get(node.node_id)
+            if current is None or value > current:
+                guaranteed_by_node[node.node_id] = value
+
+        def threshold():
+            if len(guaranteed_by_node) < k:
+                return None
+            return heapq.nlargest(k, guaranteed_by_node.values())[-1]
+
+        tuples = self._seed(plan, stats)
+        if self._excluded_answers and plan.distinguished == plan.root_var:
+            tuples = self._drop_known_answers(tuples, 0, stats)
+        tuples = self._apply_checks(
+            plan, plan.root_var, tuples, var_positions, stats
+        )
+
+        for index, join in enumerate(plan.joins):
+            tuples = self._extend(join, tuples, var_positions, stats)
+            if self._excluded_answers and join.var == plan.distinguished:
+                tuples = self._drop_known_answers(
+                    tuples, var_positions[join.var], stats
+                )
+            tuples = self._apply_checks(plan, join.var, tuples, var_positions, stats)
+            tuples = self._project(
+                tuples, live_after[index], var_positions, scheme, stats
+            )
+            position = index + 1
+
+            if prune:
+                # Register guarantees, then prune against the threshold.
+                if guaranteed_ok[position]:
+                    for item in tuples:
+                        guarantee(
+                            item,
+                            self._pessimistic(
+                                item, guaranteed_ss[position], scheme
+                            ),
+                        )
+                limit = threshold()
+                if limit is not None:
+                    kept = []
+                    for item in tuples:
+                        optimistic = self._optimistic(
+                            item, growth_ss[position], growth_ks[position], scheme
+                        )
+                        if optimistic < limit:
+                            stats.tuples_pruned += 1
+                        else:
+                            kept.append(item)
+                    tuples = kept
+
+            if mode == SSO_MODE:
+                # SSO keeps intermediate answers sorted on score (§5.2.2).
+                tuples.sort(key=lambda item: item.ss, reverse=True)
+                stats.sort_operations += 1
+                stats.sorted_tuples += len(tuples)
+            elif mode == HYBRID_MODE:
+                # Hybrid re-groups into score-homogeneous buckets instead.
+                buckets = {}
+                for item in tuples:
+                    buckets.setdefault(item.signature, []).append(item)
+                stats.buckets_created += len(buckets)
+                tuples = [item for bucket in buckets.values() for item in bucket]
+
+            stats.note_intermediate(len(tuples))
+
+        answers = self._collect(plan, tuples, var_positions, scheme, stats)
+        return ExecutionResult(answers=answers, stats=stats)
+
+    # -- phases -----------------------------------------------------------------
+
+    def _seed(self, plan, stats):
+        if plan.root_tag is not None:
+            candidates = self._document.nodes_with_tag(plan.root_tag)
+        else:
+            candidates = list(self._document.nodes())
+        allowed = self._pool_restrictions.get(plan.root_var)
+        tuples = []
+        for node in candidates:
+            if allowed is not None and node.node_id not in allowed:
+                continue
+            if not self._attrs_ok(plan.root_attr_predicates, node):
+                continue
+            tuples.append(_Tuple((node,), 0.0, 0.0, ()))
+        stats.tuples_produced += len(tuples)
+        return tuples
+
+    def _extend(self, join, tuples, var_positions, stats):
+        out = []
+        allowed = self._pool_restrictions.get(join.var)
+        for item in tuples:
+            emitted = set()
+            matched = False
+            for alt_index, alt in enumerate(join.alternatives):
+                base = item.bindings[var_positions[alt.connect_var]]
+                if base is None:
+                    continue
+                if alt.axis == "pc":
+                    candidates = self._children(base, join.tag)
+                else:
+                    candidates = self._descendants(base, join.tag)
+                for candidate in candidates:
+                    if allowed is not None and candidate.node_id not in allowed:
+                        continue
+                    if candidate.node_id in emitted:
+                        continue
+                    if not self._attrs_ok(join.attr_predicates, candidate):
+                        continue
+                    emitted.add(candidate.node_id)
+                    matched = True
+                    out.append(
+                        _Tuple(
+                            item.bindings + (candidate,),
+                            item.ss + alt.delta,
+                            item.ks,
+                            item.signature + ((join.var, alt_index),),
+                        )
+                    )
+            if not matched:
+                if join.optional:
+                    out.append(
+                        _Tuple(
+                            item.bindings + (None,),
+                            item.ss + join.optional_delta,
+                            item.ks,
+                            item.signature + ((join.var, -1),),
+                        )
+                    )
+                else:
+                    stats.tuples_failed += 1
+        stats.tuples_produced += len(out)
+        return out
+
+    def _apply_checks(self, plan, var, tuples, var_positions, stats):
+        checks = plan.checks_by_var.get(var)
+        if not checks:
+            return tuples
+        ir = self._ir
+        out = []
+        for item in tuples:
+            ss = item.ss
+            ks = item.ks
+            signature = item.signature
+            alive = True
+            for check_index, check in enumerate(checks):
+                matched_level = None
+                for level_index, level in enumerate(check.levels):
+                    node = item.bindings[var_positions[level.var]]
+                    if node is None:
+                        continue
+                    if ir.satisfies(node, check.ftexpr):
+                        matched_level = level_index
+                        ss += level.delta
+                        ks += ir.score(node, check.ftexpr)
+                        break
+                if matched_level is None:
+                    alive = False
+                    break
+                signature = signature + (("contains", var, check_index, matched_level),)
+            if alive:
+                out.append(_Tuple(item.bindings, ss, ks, signature))
+            else:
+                stats.tuples_failed += 1
+        return out
+
+    def _collect(self, plan, tuples, var_positions, scheme, stats):
+        stats.answers_before_dedup = len(tuples)
+        best = {}
+        distinguished_pos = var_positions[plan.distinguished]
+        for item in tuples:
+            node = item.bindings[distinguished_pos]
+            if node is None:
+                for ancestor_var in plan.fallback_chain:
+                    node = item.bindings[var_positions[ancestor_var]]
+                    if node is not None:
+                        break
+            if node is None:
+                continue
+            score = AnswerScore(item.ss, item.ks)
+            level = sum(
+                1
+                for part in item.signature
+                if (part[0] == "contains" and part[3] > 0)
+                or (part[0] != "contains" and part[1] != 0)
+            )
+            current = best.get(node.node_id)
+            if current is None or scheme.sort_key(score) > scheme.sort_key(
+                current.score
+            ):
+                best[node.node_id] = ScoredAnswer(
+                    node=node,
+                    score=score,
+                    relaxation_level=level,
+                    satisfied=frozenset(item.signature),
+                )
+        return list(best.values())
+
+    def _drop_known_answers(self, tuples, position, stats):
+        """Discard tuples already answered at a previous relaxation level."""
+        excluded = self._excluded_answers
+        kept = []
+        for item in tuples:
+            node = item.bindings[position]
+            if node is not None and node.node_id in excluded:
+                stats.tuples_pruned += 1
+            else:
+                kept.append(item)
+        return kept
+
+    # -- projection -------------------------------------------------------------
+
+    @staticmethod
+    def _liveness(plan):
+        """Per join position, the variables still referenced afterwards.
+
+        A variable is live after join ``i`` when a later join's alternative
+        connects through it, a later contains check reads it, or the answer
+        node may come from it (distinguished variable and its fallback
+        chain). Dead variables are projected away so tuples that differ
+        only in exhausted branches collapse — without this, relaxed plans
+        enumerate the cross product of every branch's matches.
+        """
+        needed = {plan.distinguished}
+        needed.update(plan.fallback_chain)
+        needed.add(plan.root_var)
+        live = [None] * len(plan.joins)
+        acc = set(needed)
+        for index in range(len(plan.joins) - 1, -1, -1):
+            live[index] = frozenset(acc)
+            join = plan.joins[index]
+            for alt in join.alternatives:
+                acc.add(alt.connect_var)
+            for check in plan.checks_by_var.get(join.var, ()):
+                for level in check.levels:
+                    acc.add(level.var)
+            acc.add(join.var)
+        return live
+
+    def _project(self, tuples, live, var_positions, scheme, stats):
+        """Null out dead bindings and keep the best tuple per live key.
+
+        Tuples with identical live bindings have identical futures (every
+        later join and check reads only live variables), so only the one
+        with the best current score can contribute a top answer.
+        """
+        live_positions = {
+            var_positions[var] for var in live if var in var_positions
+        }
+        key_positions = sorted(live_positions)
+        best = {}
+        for item in tuples:
+            bindings = item.bindings
+            key = tuple(
+                bindings[pos].node_id if bindings[pos] is not None else None
+                for pos in key_positions
+                if pos < len(bindings)
+            )
+            current = best.get(key)
+            if current is None or scheme.sort_key(
+                AnswerScore(item.ss, item.ks)
+            ) > scheme.sort_key(AnswerScore(current.ss, current.ks)):
+                best[key] = item
+        if len(best) == len(tuples):
+            return tuples
+        projected = []
+        for item in best.values():
+            bindings = tuple(
+                node if position in live_positions else None
+                for position, node in enumerate(item.bindings)
+            )
+            projected.append(_Tuple(bindings, item.ss, item.ks, item.signature))
+        return projected
+
+    # -- bounds -------------------------------------------------------------------
+
+    @staticmethod
+    def _optimistic(item, growth_ss, growth_ks, scheme):
+        key = scheme.sort_key(AnswerScore(item.ss + growth_ss, item.ks + growth_ks))
+        return key[0]
+
+    @staticmethod
+    def _pessimistic(item, guaranteed_ss, scheme):
+        key = scheme.sort_key(AnswerScore(item.ss + guaranteed_ss, item.ks))
+        return key[0]
+
+    # -- candidate access -----------------------------------------------------------
+
+    def _children(self, node, tag):
+        if tag is None:
+            return self._document.children(node)
+        return self._document.children_with_tag(node, tag)
+
+    def _descendants(self, node, tag):
+        if tag is None:
+            return list(self._document.descendants(node))
+        return self._document.descendants_with_tag(node, tag)
+
+    def _attrs_ok(self, predicates, node):
+        for predicate in predicates:
+            if not predicate.evaluate(node.attributes.get(predicate.attr)):
+                return False
+        return True

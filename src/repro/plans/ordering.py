@@ -1,0 +1,78 @@
+"""Join ordering for left-deep plans.
+
+The paper evaluates variables in pattern pre-order. That order is always
+*valid* (a variable's connection targets are its original-query ancestors,
+which pre-order binds first), but not always *cheap*: binding a highly
+selective branch early shrinks every later intermediate result.
+
+:func:`selectivity_ordered` reorders a plan's joins greedily by estimated
+candidate count (tag frequency from the corpus statistics), subject to the
+dependency constraint that every alternative's connect variable and every
+contains chain variable is bound before use. The executor's liveness
+analysis adapts to any valid order, so this is a drop-in plan rewrite;
+``benchmarks/bench_ablation_join_order.py`` measures what it buys.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.plans.plan import Plan
+
+
+def _dependencies(plan):
+    """Map each join var to the set of vars that must be bound before it."""
+    needed = {}
+    for join in plan.joins:
+        requires = {alt.connect_var for alt in join.alternatives}
+        for check in plan.checks_by_var.get(join.var, ()):
+            requires.update(level.var for level in check.levels)
+        requires.discard(join.var)
+        needed[join.var] = requires
+    return needed
+
+
+def selectivity_ordered(plan, statistics):
+    """Return a plan with joins greedily ordered most-selective-first.
+
+    Ties and unconstrained variables fall back to the original order, so
+    the rewrite is deterministic.
+    """
+    joins_by_var = {join.var: join for join in plan.joins}
+    original_rank = {join.var: index for index, join in enumerate(plan.joins)}
+    needed = _dependencies(plan)
+
+    bound = {plan.root_var}
+    ordered = []
+    remaining = set(joins_by_var)
+
+    def cost(var):
+        join = joins_by_var[var]
+        count = statistics.tag_count(join.tag)
+        # Required joins first among equals: they can only shrink results,
+        # optional ones only grow them.
+        return (count, join.optional, original_rank[var])
+
+    while remaining:
+        ready = [
+            var for var in remaining if needed[var] <= bound
+        ]
+        if not ready:
+            raise EvaluationError(
+                "join dependencies are cyclic; cannot order %s"
+                % ", ".join(sorted(remaining))
+            )
+        chosen = min(ready, key=cost)
+        ordered.append(joins_by_var[chosen])
+        bound.add(chosen)
+        remaining.discard(chosen)
+
+    return Plan(
+        root_var=plan.root_var,
+        root_tag=plan.root_tag,
+        root_attr_predicates=plan.root_attr_predicates,
+        joins=tuple(ordered),
+        checks_by_var=plan.checks_by_var,
+        distinguished=plan.distinguished,
+        fallback_chain=plan.fallback_chain,
+        base_score=plan.base_score,
+    )

@@ -1,0 +1,90 @@
+"""Stack-based structural join (Al-Khalifa et al., ICDE 2002).
+
+The primitive the paper's join plans are built from (§5.2.1): given two
+lists of nodes sorted by region start, produce all (ancestor, descendant)
+or (parent, child) pairs in a single merge pass using a stack of open
+ancestors. Output pairs are sorted by the descendant's start, the order the
+downstream joins in a left-deep plan expect.
+"""
+
+from __future__ import annotations
+
+
+def structural_join(ancestor_list, descendant_list, axis="ad"):
+    """Join two start-sorted node lists on containment.
+
+    Args:
+        ancestor_list: candidate ancestors, sorted by ``start``.
+        descendant_list: candidate descendants, sorted by ``start``.
+        axis: "ad" for ancestor-descendant, "pc" for parent-child.
+
+    Returns:
+        List of ``(ancestor, descendant)`` pairs sorted by descendant start.
+    """
+    if axis not in ("ad", "pc"):
+        raise ValueError("axis must be 'ad' or 'pc'")
+    results = []
+    stack = []
+    a_index = 0
+    d_index = 0
+    a_len = len(ancestor_list)
+    d_len = len(descendant_list)
+
+    while d_index < d_len:
+        descendant = descendant_list[d_index]
+        # Push every ancestor candidate opening before this descendant.
+        while a_index < a_len and ancestor_list[a_index].start < descendant.start:
+            candidate = ancestor_list[a_index]
+            # Pop closed regions.
+            while stack and stack[-1].end <= candidate.start:
+                stack.pop()
+            stack.append(candidate)
+            a_index += 1
+        # Pop ancestors whose region closed before this descendant.
+        while stack and stack[-1].end <= descendant.start:
+            stack.pop()
+        if axis == "ad":
+            for ancestor in stack:
+                if descendant.end <= ancestor.end:
+                    results.append((ancestor, descendant))
+        else:
+            for ancestor in stack:
+                if (
+                    descendant.end <= ancestor.end
+                    and descendant.level == ancestor.level + 1
+                ):
+                    results.append((ancestor, descendant))
+        d_index += 1
+    return results
+
+
+def semi_join_ancestors(ancestor_list, descendant_list, axis="ad"):
+    """Ancestors (from ``ancestor_list``) with at least one descendant.
+
+    Returns a start-sorted, duplicate-free list; the existential form used
+    when a branch predicate only asserts existence.
+    """
+    seen = set()
+    kept = []
+    for ancestor, _descendant in structural_join(
+        ancestor_list, descendant_list, axis=axis
+    ):
+        if ancestor.node_id not in seen:
+            seen.add(ancestor.node_id)
+            kept.append(ancestor)
+    kept.sort(key=lambda node: node.start)
+    return kept
+
+
+def semi_join_descendants(ancestor_list, descendant_list, axis="ad"):
+    """Descendants (from ``descendant_list``) with at least one ancestor."""
+    seen = set()
+    kept = []
+    for _ancestor, descendant in structural_join(
+        ancestor_list, descendant_list, axis=axis
+    ):
+        if descendant.node_id not in seen:
+            seen.add(descendant.node_id)
+            kept.append(descendant)
+    kept.sort(key=lambda node: node.start)
+    return kept

@@ -1,0 +1,86 @@
+"""Closure of tree pattern queries (§3.2, Figure 3).
+
+The inference rules are::
+
+    pc($x, $y)                      ⊢  ad($x, $y)
+    ad($x, $y), ad($y, $z)          ⊢  ad($x, $z)
+    ad($x, $y), contains($y, E)     ⊢  contains($x, E)
+
+The *closure* of a TPQ conjoins every predicate derivable by these rules to
+its logical expression (Figure 4 shows the closure of Q1). The closure is
+equivalent to the query and unique; relaxations are defined by dropping
+predicates from it, never from the query itself (§3.3).
+
+All functions here work on plain sets of predicates so they can be applied
+both to whole queries and to the intermediate sets ``C − S`` that arise
+while relaxing.
+"""
+
+from __future__ import annotations
+
+from repro.query.predicates import Ad, Contains, Pc
+
+
+def closure_set(predicates):
+    """Return the closure of an arbitrary predicate set as a frozenset."""
+    predicates = set(predicates)
+
+    # ad successor graph: x -> {y : ad(x, y) or pc(x, y)}
+    successors = {}
+    for predicate in predicates:
+        if isinstance(predicate, Pc):
+            successors.setdefault(predicate.parent, set()).add(predicate.child)
+        elif isinstance(predicate, Ad):
+            successors.setdefault(predicate.ancestor, set()).add(predicate.descendant)
+
+    # Transitive closure by DFS from each source.
+    reachable = {}
+    for source in successors:
+        seen = set()
+        stack = list(successors[source])
+        while stack:
+            var = stack.pop()
+            if var in seen:
+                continue
+            seen.add(var)
+            stack.extend(successors.get(var, ()))
+        reachable[source] = seen
+
+    closed = set(predicates)
+    for source, targets in reachable.items():
+        for target in targets:
+            closed.add(Ad(source, target))
+
+    # Propagate contains to every ancestor (rule 3).
+    for predicate in list(closed):
+        if isinstance(predicate, Contains):
+            for source, targets in reachable.items():
+                if predicate.var in targets:
+                    closed.add(Contains(source, predicate.ftexpr))
+
+    return frozenset(closed)
+
+
+def closure(tpq):
+    """Return the closure of a TPQ's logical expression."""
+    return closure_set(tpq.logical_predicates())
+
+
+def derives(predicates, predicate):
+    """Return True if ``predicate`` is derivable from ``predicates``."""
+    return predicate in closure_set(predicates)
+
+
+def is_redundant(predicate, predicates):
+    """Return True if ``predicate`` follows from the *other* predicates.
+
+    ``predicates`` must contain ``predicate``.
+    """
+    remaining = set(predicates)
+    remaining.discard(predicate)
+    return derives(remaining, predicate)
+
+
+def equivalent_sets(first, second):
+    """Return True if two predicate sets have the same closure."""
+    return closure_set(first) == closure_set(second)

@@ -1,0 +1,136 @@
+"""Predicates making up the logical expression of a tree pattern query.
+
+Section 2.1 of the paper views a TPQ ``(T, F)`` as the conjunction of
+
+- *structural predicates* ``pc($i, $j)`` / ``ad($i, $j)`` encoded by the
+  edges of ``T``, and
+- *value-based predicates* from ``F``: tag constraints ``$i.tag = t``,
+  attribute comparisons ``$i.attr relOp value``, and full-text predicates
+  ``contains($i, FTExp)``.
+
+All predicate classes here are immutable and hashable so that closures,
+relaxations, and satisfied-predicate sets can be modelled as plain Python
+sets — the representation the ranking theorems (Thm 3) are stated over.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+
+_REL_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Pc:
+    """Parent-child structural predicate ``pc(parent, child)``."""
+
+    parent: str
+    child: str
+
+    def variables(self):
+        return (self.parent, self.child)
+
+    def __str__(self):
+        return "pc(%s, %s)" % (self.parent, self.child)
+
+
+@dataclass(frozen=True)
+class Ad:
+    """Ancestor-descendant structural predicate ``ad(ancestor, descendant)``."""
+
+    ancestor: str
+    descendant: str
+
+    def variables(self):
+        return (self.ancestor, self.descendant)
+
+    def __str__(self):
+        return "ad(%s, %s)" % (self.ancestor, self.descendant)
+
+
+@dataclass(frozen=True)
+class Tag:
+    """Tag constraint ``var.tag = name``."""
+
+    var: str
+    name: str
+
+    def variables(self):
+        return (self.var,)
+
+    def __str__(self):
+        return "%s.tag = %s" % (self.var, self.name)
+
+
+@dataclass(frozen=True)
+class AttrCompare:
+    """Attribute comparison ``var.attr relOp value``.
+
+    ``value`` is compared as a number when both sides parse as floats,
+    otherwise as a string.
+    """
+
+    var: str
+    attr: str
+    rel_op: str
+    value: str
+
+    def __post_init__(self):
+        if self.rel_op not in _REL_OPS:
+            raise ValueError("unknown relational operator %r" % self.rel_op)
+
+    def variables(self):
+        return (self.var,)
+
+    def evaluate(self, actual):
+        """Apply the comparison to an actual attribute value (or None)."""
+        if actual is None:
+            return False
+        compare = _REL_OPS[self.rel_op]
+        try:
+            return compare(float(actual), float(self.value))
+        except (TypeError, ValueError):
+            return compare(str(actual), str(self.value))
+
+    def __str__(self):
+        return "%s.%s %s %s" % (self.var, self.attr, self.rel_op, self.value)
+
+
+@dataclass(frozen=True)
+class Contains:
+    """Full-text predicate ``contains(var, FTExp)``.
+
+    ``ftexpr`` is a parsed :class:`repro.ir.ftexpr.FTExpr`; it is immutable
+    and hashable, so ``Contains`` values can live in predicate sets.
+    """
+
+    var: str
+    ftexpr: object
+
+    def variables(self):
+        return (self.var,)
+
+    def __str__(self):
+        return "contains(%s, %s)" % (self.var, self.ftexpr)
+
+
+STRUCTURAL_TYPES = (Pc, Ad)
+VALUE_TYPES = (Tag, AttrCompare, Contains)
+
+
+def is_structural(predicate):
+    """Return True for ``pc`` / ``ad`` predicates."""
+    return isinstance(predicate, STRUCTURAL_TYPES)
+
+
+def predicates_on(predicates, var):
+    """Return the subset of ``predicates`` mentioning ``var``."""
+    return {p for p in predicates if var in p.variables()}

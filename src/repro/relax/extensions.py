@@ -1,0 +1,243 @@
+"""The "other relaxations" of §3.4 — optional extensions.
+
+The paper sets these aside as orthogonal to its structural/contains
+relaxations but spells out what they are:
+
+- **tag generalization** against a type hierarchy: replace
+  ``$1.tag = article`` with ``$1.tag = publication`` when ``article`` is a
+  subtype of ``publication``;
+- **value-predicate weakening**: ``$i.price ≤ 98`` → ``$i.price ≤ 100``;
+- **keyword relaxation** with a thesaurus: replace a keyword by the
+  disjunction of its synonyms, or drop one conjunct of an ``and``.
+
+All three are implemented here as operators producing new TPQs plus the
+evaluation support they need (a hierarchy-aware tag matcher for the
+reference evaluator). They compose with the core operators; penalties
+follow the same "how much context is lost" recipe as §4.3.1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidRelaxationError
+from repro.ir.ftexpr import And, Or, Term
+from repro.query.predicates import AttrCompare, Contains
+from repro.query.tpq import TPQ
+
+
+class TypeHierarchy:
+    """A forest of element types: each tag may have one supertype.
+
+    Example::
+
+        hierarchy = TypeHierarchy({"article": "publication",
+                                   "book": "publication"})
+        hierarchy.supertype("article")        # "publication"
+        hierarchy.subtypes_of("publication")  # {"publication", "article", "book"}
+    """
+
+    def __init__(self, parent_of):
+        self._parent = dict(parent_of)
+        # Validate acyclicity.
+        for tag in self._parent:
+            seen = {tag}
+            current = self._parent.get(tag)
+            while current is not None:
+                if current in seen:
+                    raise InvalidRelaxationError(
+                        "type hierarchy has a cycle through %r" % current
+                    )
+                seen.add(current)
+                current = self._parent.get(current)
+
+    def supertype(self, tag):
+        """The immediate supertype, or None for a root type."""
+        return self._parent.get(tag)
+
+    def ancestors(self, tag):
+        """All proper supertypes, nearest first."""
+        result = []
+        current = self._parent.get(tag)
+        while current is not None:
+            result.append(current)
+            current = self._parent.get(current)
+        return result
+
+    def subtypes_of(self, tag):
+        """The tag together with every (transitive) subtype."""
+        result = {tag}
+        changed = True
+        while changed:
+            changed = False
+            for child, parent in self._parent.items():
+                if parent in result and child not in result:
+                    result.add(child)
+                    changed = True
+        return result
+
+    def matches(self, query_tag, node_tag):
+        """True if an element tagged ``node_tag`` satisfies ``query_tag``
+        under subtype semantics."""
+        if query_tag == node_tag:
+            return True
+        return query_tag in self.ancestors(node_tag)
+
+
+def tag_generalization(query, var, hierarchy):
+    """Replace ``var``'s tag constraint with its immediate supertype."""
+    tag = query.tag_of(var)
+    if tag is None:
+        raise InvalidRelaxationError("%s has no tag constraint" % var)
+    supertype = hierarchy.supertype(tag)
+    if supertype is None:
+        raise InvalidRelaxationError("%r has no supertype" % tag)
+    tags = {
+        v: (supertype if v == var else query.tag_of(v))
+        for v in query.variables
+        if query.tag_of(v) is not None
+    }
+    edges = {
+        v: (query.parent_of(v), query.axis_of(v))
+        for v in query.variables
+        if v != query.root
+    }
+    return TPQ(
+        query.root,
+        edges,
+        tags,
+        query.distinguished,
+        contains=query.contains,
+        attr_predicates=query.attr_predicates,
+    )
+
+
+def hierarchy_tag_matcher(hierarchy):
+    """A ``(query_tag, node_tag) -> bool`` matcher for the evaluator."""
+
+    def matcher(query_tag, node_tag):
+        return hierarchy.matches(query_tag, node_tag)
+
+    return matcher
+
+
+def weaken_value_predicate(query, predicate, new_value):
+    """Weaken a numeric comparison: the new bound must admit a superset.
+
+    ``<`` / ``<=`` bounds may only increase; ``>`` / ``>=`` bounds may only
+    decrease; ``=`` and ``!=`` cannot be weakened this way.
+    """
+    if predicate not in query.attr_predicates:
+        raise InvalidRelaxationError("predicate %s is not in the query" % predicate)
+    try:
+        old = float(predicate.value)
+        new = float(new_value)
+    except (TypeError, ValueError):
+        raise InvalidRelaxationError(
+            "value weakening needs numeric bounds"
+        ) from None
+    if predicate.rel_op in ("<", "<="):
+        if new < old:
+            raise InvalidRelaxationError("new bound must not shrink the range")
+    elif predicate.rel_op in (">", ">="):
+        if new > old:
+            raise InvalidRelaxationError("new bound must not shrink the range")
+    else:
+        raise InvalidRelaxationError(
+            "operator %r cannot be weakened" % predicate.rel_op
+        )
+    replaced = AttrCompare(
+        predicate.var, predicate.attr, predicate.rel_op, str(new_value)
+    )
+    attr_predicates = tuple(
+        replaced if p == predicate else p for p in query.attr_predicates
+    )
+    edges = {
+        v: (query.parent_of(v), query.axis_of(v))
+        for v in query.variables
+        if v != query.root
+    }
+    tags = {
+        v: query.tag_of(v)
+        for v in query.variables
+        if query.tag_of(v) is not None
+    }
+    return TPQ(
+        query.root,
+        edges,
+        tags,
+        query.distinguished,
+        contains=query.contains,
+        attr_predicates=attr_predicates,
+    )
+
+
+class Thesaurus:
+    """Synonym table for keyword relaxation."""
+
+    def __init__(self, synonyms):
+        self._synonyms = {
+            word: tuple(words) for word, words in synonyms.items()
+        }
+
+    def synonyms_of(self, word):
+        return self._synonyms.get(word, ())
+
+
+def expand_keyword(query, predicate, word, thesaurus):
+    """Replace ``word`` in a contains predicate by (word or synonyms...)."""
+    if predicate not in query.contains:
+        raise InvalidRelaxationError("predicate %s is not in the query" % predicate)
+    synonyms = thesaurus.synonyms_of(word)
+    if not synonyms:
+        raise InvalidRelaxationError("no synonyms known for %r" % word)
+
+    def rewrite(expr):
+        if isinstance(expr, Term):
+            if expr.word == word:
+                return Or((expr,) + tuple(Term(s) for s in synonyms))
+            return expr
+        children = getattr(expr, "children", None)
+        if children is not None:
+            rebuilt = tuple(rewrite(child) for child in children)
+            return type(expr)(rebuilt)
+        child = getattr(expr, "child", None)
+        if child is not None:
+            return type(expr)(rewrite(child))
+        return expr
+
+    new_expr = rewrite(predicate.ftexpr)
+    if new_expr == predicate.ftexpr:
+        raise InvalidRelaxationError("%r does not occur in %s" % (word, predicate))
+    contains = tuple(
+        Contains(p.var, new_expr) if p == predicate else p
+        for p in query.contains
+    )
+    return query._copy(contains=contains)
+
+
+def drop_keyword(query, predicate, word):
+    """Drop one conjunct of an ``and`` expression (a §3.4 relaxation).
+
+    Only allowed when the term sits directly under a top-level conjunction
+    with at least two conjuncts — dropping the only keyword would make the
+    predicate vacuous.
+    """
+    if predicate not in query.contains:
+        raise InvalidRelaxationError("predicate %s is not in the query" % predicate)
+    expr = predicate.ftexpr
+    if not isinstance(expr, And):
+        raise InvalidRelaxationError("only conjunctions support keyword drops")
+    remaining = tuple(
+        child
+        for child in expr.children
+        if not (isinstance(child, Term) and child.word == word)
+    )
+    if len(remaining) == len(expr.children):
+        raise InvalidRelaxationError("%r is not a top-level conjunct" % word)
+    if not remaining:
+        raise InvalidRelaxationError("cannot drop the last keyword")
+    new_expr = remaining[0] if len(remaining) == 1 else And(remaining)
+    contains = tuple(
+        Contains(p.var, new_expr) if p == predicate else p
+        for p in query.contains
+    )
+    return query._copy(contains=contains)

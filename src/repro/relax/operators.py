@@ -1,0 +1,67 @@
+"""The four relaxation operators of §3.5.
+
+Theorem 2 states these are sound (every output strictly contains its input)
+and complete (every valid relaxation is a finite composition of them):
+
+- :func:`axis_generalization` (γ): pc edge → ad edge,
+- :func:`leaf_deletion` (λ): remove a leaf and its value predicates,
+- :func:`subtree_promotion` (σ): re-hang a subtree off the grandparent
+  with an ad edge,
+- :func:`contains_promotion` (κ): move a ``contains`` predicate from a node
+  to its pattern parent.
+
+Each function validates applicability and returns a new TPQ; inputs are
+never mutated.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidRelaxationError
+from repro.query.tpq import AD, PC
+
+
+def axis_generalization(query, var):
+    """γ: replace the pc edge into ``var`` with an ad edge."""
+    if var == query.root:
+        raise InvalidRelaxationError("the root has no incoming edge to generalize")
+    if query.axis_of(var) != PC:
+        raise InvalidRelaxationError(
+            "edge into %s is already ancestor-descendant" % var
+        )
+    return query.replacing_axis(var, AD)
+
+
+def leaf_deletion(query, var):
+    """λ: delete leaf ``var``; its value predicates are dropped.
+
+    Deleting the root is forbidden (the result would match every element);
+    if ``var`` is the distinguished node, its parent becomes distinguished.
+    """
+    if var == query.root:
+        raise InvalidRelaxationError("deleting the root is not allowed")
+    if not query.is_leaf(var):
+        raise InvalidRelaxationError("%s is not a leaf" % var)
+    return query.without_leaf(var)
+
+
+def subtree_promotion(query, var):
+    """σ: make the subtree rooted at ``var`` an ad child of its grandparent."""
+    if var == query.root:
+        raise InvalidRelaxationError("the root cannot be promoted")
+    parent = query.parent_of(var)
+    grandparent = query.parent_of(parent)
+    if grandparent is None:
+        raise InvalidRelaxationError("%s has no grandparent to promote to" % var)
+    return query.reparenting(var, grandparent, AD)
+
+
+def contains_promotion(query, predicate):
+    """κ: move ``contains(var, E)`` from ``var`` to ``var``'s pattern parent."""
+    if predicate not in query.contains:
+        raise InvalidRelaxationError("predicate %s is not in the query" % predicate)
+    parent = query.parent_of(predicate.var)
+    if parent is None:
+        raise InvalidRelaxationError(
+            "contains on the root %s cannot be promoted" % predicate.var
+        )
+    return query.retargeting_contains(predicate, parent)

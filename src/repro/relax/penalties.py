@@ -1,0 +1,111 @@
+"""Predicate penalties (§4.3.1).
+
+The penalty of dropping a closure predicate measures how much search context
+the relaxation gives up, estimated from corpus statistics:
+
+- drop ``pc(i, j)`` (keeping ``ad``):  ``#pc(ti,tj) / #ad(ti,tj) · w``
+  — when almost all ancestor-descendant pairs are in fact parent-child,
+  generalizing the axis admits few new answers, so it costs almost the
+  full predicate weight;
+- drop ``ad(i, j)``:  ``#ad(ti,tj) / (#(ti) · #(tj)) · w``;
+- drop ``contains(i, E)`` (promoting it to the parent ``l``):
+  ``#contains(i, E) / #contains(l, E) · w``.
+
+Weights come from a :class:`WeightAssignment`; the paper's experiments use
+uniform unit weights and assume weight 1 for ``contains``.
+"""
+
+from __future__ import annotations
+
+from repro.query.predicates import Ad, Contains, Pc
+
+
+class WeightAssignment:
+    """Maps closure predicates to weights (``w_Q`` in the paper).
+
+    The default is the uniform unit assignment. Custom weights can be given
+    per predicate; lookups fall back to the default weight.
+    """
+
+    def __init__(self, default=1.0, overrides=None):
+        self._default = float(default)
+        self._overrides = dict(overrides or {})
+
+    def weight(self, predicate):
+        return self._overrides.get(predicate, self._default)
+
+    def __call__(self, predicate):
+        return self.weight(predicate)
+
+
+UNIFORM_WEIGHTS = WeightAssignment()
+
+
+class PenaltyModel:
+    """Computes drop penalties for the predicates of one query's closure."""
+
+    def __init__(self, statistics, ir_engine=None, weights=UNIFORM_WEIGHTS):
+        self._stats = statistics
+        self._ir = ir_engine
+        self._weights = weights
+
+    @property
+    def weights(self):
+        return self._weights
+
+    @property
+    def statistics(self):
+        return self._stats
+
+    def weight(self, predicate):
+        return self._weights.weight(predicate)
+
+    def pc_drop_penalty(self, query, predicate):
+        """Penalty for relaxing ``pc(i, j)`` to ``ad(i, j)``."""
+        parent_tag = query.tag_of(predicate.parent)
+        child_tag = query.tag_of(predicate.child)
+        weight = self._weights.weight(predicate)
+        pc_pairs = self._stats.pc_count(parent_tag, child_tag)
+        ad_pairs = self._stats.ad_count(parent_tag, child_tag)
+        if ad_pairs == 0:
+            return weight
+        return (pc_pairs / ad_pairs) * weight
+
+    def ad_drop_penalty(self, query, predicate):
+        """Penalty for dropping ``ad(i, j)`` entirely."""
+        ancestor_tag = query.tag_of(predicate.ancestor)
+        descendant_tag = query.tag_of(predicate.descendant)
+        weight = self._weights.weight(predicate)
+        ad_pairs = self._stats.ad_count(ancestor_tag, descendant_tag)
+        denominator = self._stats.tag_count(ancestor_tag) * self._stats.tag_count(
+            descendant_tag
+        )
+        if denominator == 0:
+            return weight
+        return (ad_pairs / denominator) * weight
+
+    def contains_drop_penalty(self, query, predicate):
+        """Penalty for promoting ``contains(i, E)`` to ``i``'s parent ``l``."""
+        weight = self._weights.weight(predicate)
+        parent = query.parent_of(predicate.var)
+        if parent is None or self._ir is None:
+            return weight
+        child_matches = self._ir.count_satisfying(
+            predicate.ftexpr, query.tag_of(predicate.var)
+        )
+        parent_matches = self._ir.count_satisfying(
+            predicate.ftexpr, query.tag_of(parent)
+        )
+        if parent_matches == 0:
+            return weight
+        return (child_matches / parent_matches) * weight
+
+    def penalty(self, query, predicate):
+        """Dispatch on predicate type."""
+        if isinstance(predicate, Pc):
+            return self.pc_drop_penalty(query, predicate)
+        if isinstance(predicate, Ad):
+            return self.ad_drop_penalty(query, predicate)
+        if isinstance(predicate, Contains):
+            return self.contains_drop_penalty(query, predicate)
+        raise TypeError("no drop penalty for predicate %r" % (predicate,))

@@ -1,0 +1,104 @@
+"""Enumeration of the space of relaxations (§3.5, Theorem 2).
+
+Theorem 2 says finite compositions of the four operators generate exactly
+the space of valid relaxations. :func:`enumerate_relaxations` materializes
+that space by breadth-first application of every applicable operator,
+deduplicating structurally identical queries. The space is finite (every
+operator strictly decreases a bounded measure) but can be large, so a
+``limit`` guard is available for defensive use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import FleXPathError, InvalidRelaxationError
+from repro.query.tpq import PC
+from repro.relax.operators import (
+    axis_generalization,
+    contains_promotion,
+    leaf_deletion,
+    subtree_promotion,
+)
+
+
+def applicable_relaxations(query):
+    """Yield ``(operator_name, description, relaxed_query)`` for every
+    single operator application valid on ``query``."""
+    for parent, child, axis in query.edges():
+        if axis == PC:
+            yield (
+                "axis-generalization",
+                "γ on edge %s→%s" % (parent, child),
+                axis_generalization(query, child),
+            )
+    for var in query.variables:
+        if var == query.root:
+            continue
+        if query.is_leaf(var) and var != query.distinguished:
+            # Deleting the distinguished leaf re-designates its parent and
+            # changes the answer node type; the result does not contain the
+            # original, so it is not a relaxation in the Definition 1 sense.
+            yield ("leaf-deletion", "λ on %s" % var, leaf_deletion(query, var))
+        parent = query.parent_of(var)
+        if query.parent_of(parent) is not None:
+            yield (
+                "subtree-promotion",
+                "σ on %s" % var,
+                subtree_promotion(query, var),
+            )
+    for predicate in query.contains:
+        if predicate.var != query.root:
+            yield (
+                "contains-promotion",
+                "κ on %s" % (predicate,),
+                contains_promotion(query, predicate),
+            )
+
+
+def enumerate_relaxations(query, limit=10000):
+    """Return every distinct relaxation reachable from ``query``.
+
+    The original query is not included. Raises :class:`FleXPathError` if
+    the space exceeds ``limit`` (a sign the caller wants the lazy
+    generator patterns of :mod:`repro.relax.steps` instead).
+    """
+    seen = {query}
+    results = []
+    frontier = deque([query])
+    while frontier:
+        current = frontier.popleft()
+        for _name, _description, relaxed in applicable_relaxations(current):
+            if relaxed in seen:
+                continue
+            seen.add(relaxed)
+            results.append(relaxed)
+            frontier.append(relaxed)
+            if len(results) > limit:
+                raise FleXPathError(
+                    "relaxation space exceeds limit=%d" % limit
+                )
+    return results
+
+
+def relaxation_distance(original, relaxed, limit=10000):
+    """Return the minimum number of operator applications turning
+    ``original`` into ``relaxed``, or None if unreachable."""
+    if original == relaxed:
+        return 0
+    seen = {original}
+    frontier = deque([(original, 0)])
+    explored = 0
+    while frontier:
+        current, depth = frontier.popleft()
+        for _name, _description, candidate in applicable_relaxations(current):
+            if candidate == relaxed:
+                return depth + 1
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            frontier.append((candidate, depth + 1))
+            explored += 1
+            if explored > limit:
+                raise FleXPathError("search space exceeds limit=%d" % limit)
+    return None

@@ -1,0 +1,6 @@
+"""Corpus statistics and selectivity estimation."""
+
+from repro.stats.collector import DocumentStatistics
+from repro.stats.selectivity import SelectivityEstimator
+
+__all__ = ["DocumentStatistics", "SelectivityEstimator"]

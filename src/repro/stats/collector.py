@@ -1,0 +1,114 @@
+"""Corpus statistics for penalties and selectivity (§4.3.1, §6).
+
+One pass over the document (plus one ancestor walk per node, cheap because
+XML depth is small) collects every count the paper's formulas need:
+
+- ``#(t)``              — elements per tag,
+- ``#pc(t1, t2)``       — parent-child pairs per tag pair,
+- ``#ad(t1, t2)``       — ancestor-descendant pairs per tag pair,
+- distinct-parent / distinct-ancestor variants of the above, which drive
+  the uniform-independence selectivity estimator ("suppose 60% of A's in
+  the document have a B as a child ...", §6).
+
+``#contains`` statistics live in the IR engine (they depend on the query's
+full-text expression); :class:`~repro.relax.penalties.PenaltyModel` combines
+both sources.
+"""
+
+from __future__ import annotations
+
+
+class DocumentStatistics:
+    """Tag and tag-pair counts for one document."""
+
+    def __init__(self, document):
+        self._document = document
+        self._tag_counts = {}
+        self._pc_pairs = {}
+        self._ad_pairs = {}
+        self._pc_parents = {}
+        self._ad_ancestors = {}
+        self._collect()
+
+    def _collect(self):
+        document = self._document
+        for tag in document.tags:
+            self._tag_counts[tag] = document.count(tag)
+
+        # Distinct parents/ancestors with at least one (tag) child/descendant:
+        # sets of node ids per (t1, t2), sized afterwards. Wildcard (None)
+        # marginals are accumulated alongside so untagged query variables
+        # still get meaningful pair counts.
+        pc_parent_sets = {}
+        ad_ancestor_sets = {}
+        for node in document.nodes():
+            parent = document.parent(node)
+            if parent is not None:
+                for key in (
+                    (parent.tag, node.tag),
+                    (parent.tag, None),
+                    (None, node.tag),
+                    (None, None),
+                ):
+                    self._pc_pairs[key] = self._pc_pairs.get(key, 0) + 1
+                    pc_parent_sets.setdefault(key, set()).add(parent.node_id)
+            for ancestor in document.ancestors(node):
+                for key in (
+                    (ancestor.tag, node.tag),
+                    (ancestor.tag, None),
+                    (None, node.tag),
+                    (None, None),
+                ):
+                    self._ad_pairs[key] = self._ad_pairs.get(key, 0) + 1
+                    ad_ancestor_sets.setdefault(key, set()).add(ancestor.node_id)
+
+        self._pc_parents = {key: len(ids) for key, ids in pc_parent_sets.items()}
+        self._ad_ancestors = {key: len(ids) for key, ids in ad_ancestor_sets.items()}
+
+    @property
+    def document(self):
+        return self._document
+
+    @property
+    def total_elements(self):
+        return len(self._document)
+
+    def tag_count(self, tag):
+        """``#(t)``: number of elements with the tag (None counts all)."""
+        if tag is None:
+            return len(self._document)
+        return self._tag_counts.get(tag, 0)
+
+    def pc_count(self, parent_tag, child_tag):
+        """``#pc(t1, t2)``: number of parent-child pairs."""
+        return self._pc_pairs.get((parent_tag, child_tag), 0)
+
+    def ad_count(self, ancestor_tag, descendant_tag):
+        """``#ad(t1, t2)``: number of ancestor-descendant pairs."""
+        return self._ad_pairs.get((ancestor_tag, descendant_tag), 0)
+
+    def pc_parent_count(self, parent_tag, child_tag):
+        """Distinct ``parent_tag`` elements with ≥1 ``child_tag`` child."""
+        return self._pc_parents.get((parent_tag, child_tag), 0)
+
+    def ad_ancestor_count(self, ancestor_tag, descendant_tag):
+        """Distinct ``ancestor_tag`` elements with ≥1 ``descendant_tag``
+        descendant."""
+        return self._ad_ancestors.get((ancestor_tag, descendant_tag), 0)
+
+    # -- fractions used by the estimator ------------------------------------
+
+    def pc_child_fraction(self, parent_tag, child_tag):
+        """Fraction of ``parent_tag`` elements with a ``child_tag`` child."""
+        total = self.tag_count(parent_tag)
+        if total == 0:
+            return 0.0
+        return self.pc_parent_count(parent_tag, child_tag) / total
+
+    def ad_descendant_fraction(self, ancestor_tag, descendant_tag):
+        """Fraction of ``ancestor_tag`` elements with a ``descendant_tag``
+        descendant."""
+        total = self.tag_count(ancestor_tag)
+        if total == 0:
+            return 0.0
+        return self.ad_ancestor_count(ancestor_tag, descendant_tag) / total

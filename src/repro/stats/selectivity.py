@@ -1,0 +1,121 @@
+"""Selectivity estimation for tree pattern queries (§6).
+
+The paper's authors built their own estimator rather than use [27]: intensive
+pre-processing collects node and edge counts, then a *uniform distribution*
+assumption makes existence fractions composable — "suppose 60% of A's in the
+document have a B as a child; we assume that this fraction is independent of
+the location of A ... so the estimate for C/A/B is 0.6 times that of C/A."
+
+We estimate the number of **distinct distinguished-node answers**:
+
+    estimate(Q) = (#candidates of the distinguished variable, scaled by the
+                   existence fractions of the edges on the root path above
+                   it) × Π existence fractions of all branch constraints
+                   hanging off the root path (structural and contains).
+
+SSO consumes this to decide statically how many relaxations to encode.
+"""
+
+from __future__ import annotations
+
+
+class SelectivityEstimator:
+    """Uniform-independence result-size estimator over one document."""
+
+    def __init__(self, statistics, ir_engine=None):
+        self._stats = statistics
+        self._ir = ir_engine
+
+    def estimate(self, query):
+        """Estimated number of answers (distinct distinguished matches)."""
+        distinguished = query.distinguished
+
+        # Path from the root down to the distinguished variable.
+        spine = [distinguished]
+        spine.extend(query.ancestors_of(distinguished))
+        spine.reverse()  # root ... distinguished
+        spine_set = set(spine)
+
+        # Start from the count of root-tag elements and push existence
+        # fractions down the spine (each spine step conditions the parent
+        # population), then multiply by the expected fan-out of the last
+        # step's tag. For distinct-answer estimation we track the expected
+        # number of distinct distinguished elements reachable.
+        estimate = float(self._stats.tag_count(query.tag_of(spine[0])))
+        for parent_var, child_var in zip(spine, spine[1:]):
+            estimate *= self._spine_step_factor(query, parent_var, child_var)
+
+        # Branch constraints: every subtree hanging off a spine variable
+        # filters the population of that variable; under independence each
+        # multiplies the estimate by its existence probability.
+        for var in spine:
+            for child in query.children_of(var):
+                if child in spine_set:
+                    continue
+                estimate *= self._existence_probability(query, var, child)
+
+        # contains predicates on spine variables filter directly.
+        for predicate in query.contains:
+            if predicate.var in spine_set:
+                estimate *= self._contains_probability(
+                    query.tag_of(predicate.var), predicate.ftexpr
+                )
+
+        return estimate
+
+    # -- factors ---------------------------------------------------------------
+
+    def _spine_step_factor(self, query, parent_var, child_var):
+        """Expected number of child-var matches per parent-var match."""
+        parent_tag = query.tag_of(parent_var)
+        child_tag = query.tag_of(child_var)
+        parent_count = self._stats.tag_count(parent_tag)
+        if parent_count == 0:
+            return 0.0
+        if parent_tag is None or child_tag is None:
+            # No tag constraint: approximate with global fan-out.
+            return self._stats.tag_count(child_tag) / max(
+                self._stats.total_elements, 1
+            ) * self._average_fanout()
+        if query.axis_of(child_var) == "pc":
+            pairs = self._stats.pc_count(parent_tag, child_tag)
+        else:
+            pairs = self._stats.ad_count(parent_tag, child_tag)
+        return pairs / parent_count
+
+    def _existence_probability(self, query, parent_var, child_var):
+        """Probability that a parent-var match has the whole branch below
+        ``child_var``."""
+        probability = self._edge_probability(query, parent_var, child_var)
+        # Recurse into the branch: each further level multiplies (uniform
+        # independence assumption).
+        for grandchild in query.children_of(child_var):
+            probability *= self._existence_probability(query, child_var, grandchild)
+        for predicate in query.contains_on(child_var):
+            probability *= self._contains_probability(
+                query.tag_of(child_var), predicate.ftexpr
+            )
+        return probability
+
+    def _edge_probability(self, query, parent_var, child_var):
+        parent_tag = query.tag_of(parent_var)
+        child_tag = query.tag_of(child_var)
+        if parent_tag is None or child_tag is None:
+            return 1.0
+        if query.axis_of(child_var) == "pc":
+            return self._stats.pc_child_fraction(parent_tag, child_tag)
+        return self._stats.ad_descendant_fraction(parent_tag, child_tag)
+
+    def _contains_probability(self, tag, ftexpr):
+        if self._ir is None:
+            return 1.0
+        total = self._stats.tag_count(tag)
+        if total == 0:
+            return 0.0
+        return self._ir.count_satisfying(ftexpr, tag) / total
+
+    def _average_fanout(self):
+        total = self._stats.total_elements
+        if total <= 1:
+            return 0.0
+        return (total - 1) / total

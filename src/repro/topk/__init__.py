@@ -1,0 +1,19 @@
+"""Top-K algorithms: DPO, SSO, Hybrid."""
+
+from repro.topk.base import QueryContext, TopKResult, combined_level_cutoff
+from repro.topk.dpo import DPO
+from repro.topk.hybrid import Hybrid
+from repro.topk.ir_first import IRFirstDPO
+from repro.topk.naive import NaiveRewriting
+from repro.topk.sso import SSO
+
+__all__ = [
+    "DPO",
+    "Hybrid",
+    "IRFirstDPO",
+    "NaiveRewriting",
+    "QueryContext",
+    "SSO",
+    "TopKResult",
+    "combined_level_cutoff",
+]

@@ -1,0 +1,94 @@
+"""Shared machinery for the top-K algorithms (Fig. 7 architecture).
+
+A :class:`QueryContext` bundles everything the algorithms share per
+document: the IR engine, corpus statistics, the penalty model, the
+selectivity estimator, the plan executor, and a cache of relaxation
+schedules. DPO, SSO and Hybrid are thin strategies over this context, which
+is what makes their benchmark comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.engine import IREngine
+from repro.plans.executor import PlanExecutor
+from repro.relax.penalties import UNIFORM_WEIGHTS, PenaltyModel
+from repro.relax.steps import RelaxationSchedule
+from repro.stats.collector import DocumentStatistics
+from repro.stats.selectivity import SelectivityEstimator
+
+
+class QueryContext:
+    """Per-document evaluation context shared by all top-K algorithms."""
+
+    def __init__(self, document, ir_engine=None, statistics=None,
+                 weights=UNIFORM_WEIGHTS):
+        self.document = document
+        self.ir = ir_engine if ir_engine is not None else IREngine(document)
+        self.statistics = (
+            statistics if statistics is not None else DocumentStatistics(document)
+        )
+        self.weights = weights
+        self.penalties = PenaltyModel(self.statistics, self.ir, weights)
+        self.estimator = SelectivityEstimator(self.statistics, self.ir)
+        self.executor = PlanExecutor(document, self.ir)
+        self._schedules = {}
+
+    def schedule(self, query, max_steps=None, skip_useless_gamma=True):
+        """Return (and cache) the relaxation schedule for a query."""
+        key = (query, max_steps, skip_useless_gamma)
+        if key not in self._schedules:
+            self._schedules[key] = RelaxationSchedule(
+                query,
+                self.penalties,
+                max_steps=max_steps,
+                skip_useless_gamma=skip_useless_gamma,
+            )
+        return self._schedules[key]
+
+
+@dataclass
+class TopKResult:
+    """Outcome of a top-K evaluation."""
+
+    algorithm: str
+    query: object
+    k: int
+    scheme: object
+    answers: list  # top-K ScoredAnswer, best first
+    relaxations_used: int  # schedule levels walked / encoded
+    levels_evaluated: int  # plans actually executed (DPO > 1, SSO/Hybrid ≥ 1)
+    restarts: int = 0
+    stats: list = field(default_factory=list)  # ExecutionStats per plan run
+
+    def nodes(self):
+        return [answer.node for answer in self.answers]
+
+    def node_ids(self):
+        return [answer.node_id for answer in self.answers]
+
+    def __repr__(self):
+        return "TopKResult(%s, k=%d, answers=%d, relaxations=%d)" % (
+            self.algorithm,
+            self.k,
+            len(self.answers),
+            self.relaxations_used,
+        )
+
+
+def combined_level_cutoff(schedule, reached_level, contains_count):
+    """The §5.1 pruning rule for the combined scheme.
+
+    Once levels ``0..reached_level`` hold at least K answers, any further
+    level whose structural score is more than ``m`` (the number of contains
+    predicates, each of weight 1) below that of ``reached_level`` cannot
+    contribute a top-K answer. Returns the last level worth evaluating.
+    """
+    reached_score = schedule.structural_score(reached_level)
+    cutoff = reached_level
+    for index in range(reached_level + 1, len(schedule) + 1):
+        if schedule.structural_score(index) <= reached_score - contains_count:
+            break
+        cutoff = index
+    return cutoff

@@ -1,0 +1,27 @@
+"""Hybrid — bucketized single-plan evaluation (§5.2.3, Algorithm 2).
+
+Hybrid combines DPO's and SSO's strengths: like SSO it evaluates a single
+plan encoding the statically chosen relaxations (no repeated passes over
+the data); like DPO it never sorts intermediate results on score. Instead,
+intermediate tuples are grouped into *buckets* keyed by the set of
+predicates they satisfy — all tuples in a bucket share a structural score,
+and within a bucket the node-id sort order of the join inputs is preserved,
+so neither resorting on score nor on node id is ever needed. Threshold /
+``maxScoreGrowth`` pruning applies at bucket granularity.
+
+Operationally Hybrid is SSO with the executor's bucket mode; it inherits
+SSO's selectivity-driven level choice and its restart-on-underestimate
+loop.
+"""
+
+from __future__ import annotations
+
+from repro.plans.executor import HYBRID_MODE
+from repro.topk.sso import SSO
+
+
+class Hybrid(SSO):
+    """Bucketized variant of SSO — no intermediate sorting on scores."""
+
+    name = "Hybrid"
+    _mode = HYBRID_MODE

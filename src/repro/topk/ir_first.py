@@ -1,0 +1,133 @@
+"""IR-first evaluation — the §5.1 alternative the paper left unexplored.
+
+    "An alternative possibility would first use an inverted index to
+    evaluate the contains predicates and filter out potential answers, and
+    then match structural predicates. The efficiency of each approach
+    depends on the types of queries. A comparison of these two approaches
+    would be interesting but is outside the scope of this paper."
+
+This strategy realizes that alternative on top of DPO's level walk: before
+evaluating a level's plan, the inverted index computes, for every variable
+carrying a ``contains`` predicate, the set of elements (of that variable's
+tag) whose subtree satisfies the expression. Structural matching is then
+seeded with exactly those elements instead of the full tag list.
+
+When the full-text expression is selective this skips almost all
+structural work; when it is unselective (or the contains sits high in the
+pattern, where most elements satisfy it) the filtering is pure overhead —
+the trade-off the paper predicted, measurable with
+``benchmarks/bench_ablation_ir_first.py``.
+"""
+
+from __future__ import annotations
+
+from repro.plans.executor import STRICT
+from repro.plans.plan import build_strict_plan
+from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
+from repro.rank.scores import AnswerScore, ScoredAnswer
+from repro.topk.base import TopKResult, combined_level_cutoff
+
+
+class IRFirstDPO:
+    """DPO with contains-satisfier pre-filtering from the inverted index."""
+
+    name = "IRFirstDPO"
+
+    def __init__(self, context):
+        self._context = context
+        self._satisfier_cache = {}
+
+    def _satisfiers(self, ftexpr, tag):
+        """Node ids (with the given tag) whose subtree satisfies ``ftexpr``."""
+        key = (ftexpr, tag)
+        if key not in self._satisfier_cache:
+            ir = self._context.ir
+            document = self._context.document
+            if tag is None:
+                pool = document.nodes()
+            else:
+                pool = document.nodes_with_tag(tag)
+            self._satisfier_cache[key] = frozenset(
+                node.node_id for node in pool if ir.satisfies(node, ftexpr)
+            )
+        return self._satisfier_cache[key]
+
+    def _restrictions_for(self, query):
+        restrictions = {}
+        for predicate in query.contains:
+            satisfiers = self._satisfiers(
+                predicate.ftexpr, query.tag_of(predicate.var)
+            )
+            current = restrictions.get(predicate.var)
+            if current is None:
+                restrictions[predicate.var] = satisfiers
+            else:
+                restrictions[predicate.var] = current & satisfiers
+        return restrictions
+
+    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None):
+        context = self._context
+        schedule = context.schedule(query, max_steps=max_relaxations)
+        contains_count = len(query.contains)
+
+        seen = set()
+        collected = []
+        stats = []
+        levels_evaluated = 0
+        cutoff = len(schedule)
+        reached_level = None
+
+        for level in range(len(schedule) + 1):
+            if level > cutoff:
+                break
+            entry = schedule.level(level)
+            plan = build_strict_plan(entry.query, context.weights)
+            restrictions = self._restrictions_for(entry.query)
+            result = context.executor.run(
+                plan,
+                mode=STRICT,
+                pool_restrictions=restrictions,
+                exclude_answer_ids=seen,
+            )
+            stats.append(result.stats)
+            levels_evaluated += 1
+
+            level_score = schedule.structural_score(level)
+            fresh = []
+            for answer in result.answers:
+                if answer.node_id in seen:
+                    continue
+                seen.add(answer.node_id)
+                fresh.append(
+                    ScoredAnswer(
+                        node=answer.node,
+                        score=AnswerScore(level_score, answer.score.keyword),
+                        relaxation_level=level,
+                        satisfied=answer.satisfied,
+                    )
+                )
+            fresh.sort(key=lambda a: scheme.sort_key(a.score), reverse=True)
+            collected.extend(fresh)
+
+            if len(collected) >= k and reached_level is None:
+                reached_level = level
+                if scheme.requires_all_relaxations:
+                    cutoff = len(schedule)
+                elif scheme.keyword_headroom(contains_count) > 0:
+                    cutoff = combined_level_cutoff(
+                        schedule, reached_level, contains_count
+                    )
+                else:
+                    cutoff = level
+
+        answers = rank_answers(collected, scheme, k)
+        return TopKResult(
+            algorithm=self.name,
+            query=query,
+            k=k,
+            scheme=scheme,
+            answers=answers,
+            relaxations_used=levels_evaluated - 1,
+            levels_evaluated=levels_evaluated,
+            stats=stats,
+        )

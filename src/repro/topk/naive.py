@@ -1,0 +1,70 @@
+"""Naive query rewriting — the baseline the paper argues against.
+
+§1 dismisses the "naive solution" of writing the relaxed queries by hand
+and evaluating them all: "tedious and expensive ... in terms of repeated
+processing of similar queries and, thus, of lost optimization
+opportunities." §7 classifies it as the *rewriting strategy* of
+[11, 15, 18, 30] without DPO's optimizations.
+
+This implementation makes the baseline concrete so benchmarks can quantify
+what DPO's bookkeeping and SSO's single-plan encoding buy:
+
+- every schedule level is evaluated in full (no early stop at K);
+- no answer-id memory across levels — the containment-implied duplicates
+  are recomputed at every level and deduplicated only at the end;
+- all answers are collected and sorted once, at the end.
+"""
+
+from __future__ import annotations
+
+from repro.plans.executor import STRICT
+from repro.plans.plan import build_strict_plan
+from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
+from repro.rank.scores import AnswerScore, ScoredAnswer
+from repro.topk.base import TopKResult
+
+
+class NaiveRewriting:
+    """Evaluate every relaxation in full; sort everything at the end."""
+
+    name = "NaiveRewriting"
+
+    def __init__(self, context):
+        self._context = context
+
+    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None):
+        context = self._context
+        schedule = context.schedule(query, max_steps=max_relaxations)
+
+        collected = {}
+        stats = []
+        for level in range(len(schedule) + 1):
+            entry = schedule.level(level)
+            plan = build_strict_plan(entry.query, context.weights)
+            result = context.executor.run(plan, mode=STRICT)
+            stats.append(result.stats)
+            level_score = schedule.structural_score(level)
+            for answer in result.answers:
+                scored = ScoredAnswer(
+                    node=answer.node,
+                    score=AnswerScore(level_score, answer.score.keyword),
+                    relaxation_level=level,
+                    satisfied=answer.satisfied,
+                )
+                current = collected.get(answer.node_id)
+                if current is None or scheme.sort_key(scored.score) > scheme.sort_key(
+                    current.score
+                ):
+                    collected[answer.node_id] = scored
+
+        answers = rank_answers(collected.values(), scheme, k)
+        return TopKResult(
+            algorithm=self.name,
+            query=query,
+            k=k,
+            scheme=scheme,
+            answers=answers,
+            relaxations_used=len(schedule),
+            levels_evaluated=len(schedule) + 1,
+            stats=stats,
+        )

@@ -1,0 +1,85 @@
+"""SSO — Static Selectivity Order (§5.1.2, Algorithm 1).
+
+SSO never evaluates intermediate relaxation levels: it uses the selectivity
+estimator to decide statically how many of the cheapest relaxations must be
+encoded to yield at least K answers, builds one plan encoding exactly those
+(Figure 8 style), and evaluates it once with threshold /
+``maxScoreGrowth`` pruning. Intermediate results are kept **sorted on
+score** — the re-sorting cost that motivates Hybrid.
+
+When the estimate was optimistic and fewer than K answers come back,
+SSO restarts with more relaxations encoded (Algorithm 1, lines 11-13).
+"""
+
+from __future__ import annotations
+
+from repro.plans.executor import SSO_MODE
+from repro.plans.plan import build_encoded_plan
+from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
+from repro.topk.base import TopKResult, combined_level_cutoff
+
+
+class SSO:
+    """Static Selectivity Order top-K evaluation."""
+
+    name = "SSO"
+    _mode = SSO_MODE
+
+    def __init__(self, context):
+        self._context = context
+
+    def choose_level(self, schedule, k, scheme, contains_count):
+        """Pick the relaxation level to encode, from selectivity estimates.
+
+        Walks the schedule accumulating estimated result sizes until K is
+        reached (Algorithm 1, lines 3-7), then applies the scheme's policy:
+        keyword-first encodes everything; combined extends to the §5.1
+        cutoff.
+        """
+        estimator = self._context.estimator
+        level = 0
+        while level < len(schedule):
+            estimate = estimator.estimate(schedule.level(level).query)
+            if estimate >= k:
+                break
+            level += 1
+        if scheme.requires_all_relaxations:
+            return len(schedule)
+        if scheme.keyword_headroom(contains_count) > 0:
+            return combined_level_cutoff(schedule, level, contains_count)
+        return level
+
+    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None):
+        """Return the top-K answers of ``query`` under ``scheme``."""
+        context = self._context
+        schedule = context.schedule(query, max_steps=max_relaxations)
+        contains_count = len(query.contains)
+
+        level = self.choose_level(schedule, k, scheme, contains_count)
+        stats = []
+        restarts = 0
+        levels_evaluated = 0
+
+        while True:
+            plan = build_encoded_plan(schedule, level)
+            result = context.executor.run(plan, k=k, scheme=scheme, mode=self._mode)
+            stats.append(result.stats)
+            levels_evaluated += 1
+            if len(result.answers) >= k or level >= len(schedule):
+                break
+            # Estimate was optimistic: drop more predicates and restart.
+            level += 1
+            restarts += 1
+
+        answers = rank_answers(result.answers, scheme, k)
+        return TopKResult(
+            algorithm=self.name,
+            query=query,
+            k=k,
+            scheme=scheme,
+            answers=answers,
+            relaxations_used=level,
+            levels_evaluated=levels_evaluated,
+            restarts=restarts,
+            stats=stats,
+        )

@@ -1,0 +1,117 @@
+"""Query workload generation.
+
+Benchmarks and robustness tests need many queries, not just the paper's
+three. This generator samples tree patterns from a *document's own
+structure* — trunk paths and branch qualifiers are real root-to-node paths
+and keywords are drawn from the target subtree's text — so every generated
+query has at least one exact match by construction, and its relaxations
+are guaranteed to be meaningful on that document.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.ftexpr import conjunction
+from repro.ir.tokenizer import tokenize_and_stem
+from repro.query.predicates import Contains
+from repro.query.tpq import AD, PC, TPQ
+
+
+class WorkloadGenerator:
+    """Samples satisfiable tree pattern queries from one document."""
+
+    def __init__(self, document, seed=0):
+        self._document = document
+        self._rng = random.Random(seed)
+        self._nodes = [node for node in document.nodes()]
+
+    def generate(self, count, max_trunk=3, max_branches=2,
+                 contains_probability=0.5, ad_probability=0.3):
+        """Return ``count`` TPQs; each has ≥1 exact match on the document."""
+        queries = []
+        attempts = 0
+        while len(queries) < count and attempts < count * 50:
+            attempts += 1
+            query = self._generate_one(
+                max_trunk, max_branches, contains_probability, ad_probability
+            )
+            if query is not None:
+                queries.append(query)
+        return queries
+
+    def _generate_one(self, max_trunk, max_branches, contains_probability,
+                      ad_probability):
+        rng = self._rng
+        document = self._document
+
+        anchor = rng.choice(self._nodes)
+        path = [anchor]
+        path.extend(document.ancestors(anchor))
+        path.reverse()  # root ... anchor
+        if len(path) < 2:
+            return None
+
+        # Trunk: a suffix of the real path ending at the anchor.
+        trunk_length = rng.randint(1, min(max_trunk, len(path)))
+        trunk_nodes = path[-trunk_length:]
+
+        counter = [0]
+
+        def fresh_var():
+            counter[0] += 1
+            return "$%d" % counter[0]
+
+        edges = {}
+        tags = {}
+        contains = []
+
+        trunk_vars = []
+        parent_var = None
+        for position, node in enumerate(trunk_nodes):
+            var = fresh_var()
+            tags[var] = node.tag
+            if parent_var is not None:
+                # The trunk follows real parent-child steps; some become ad.
+                axis = AD if rng.random() < ad_probability else PC
+                edges[var] = (parent_var, axis)
+            trunk_vars.append(var)
+            parent_var = var
+
+        root_var = trunk_vars[0]
+        distinguished = trunk_vars[-1]
+
+        # Branches: real child subpaths of the anchor.
+        children = document.children(trunk_nodes[-1])
+        rng.shuffle(children)
+        for child in children[: rng.randint(0, max_branches)]:
+            var = fresh_var()
+            tags[var] = child.tag
+            axis = AD if rng.random() < ad_probability else PC
+            edges[var] = (distinguished, axis)
+            # Occasionally extend the branch one more real level.
+            grandchildren = document.children(child)
+            if grandchildren and rng.random() < 0.5:
+                grandchild = rng.choice(grandchildren)
+                deep_var = fresh_var()
+                tags[deep_var] = grandchild.tag
+                edges[deep_var] = (var, PC)
+
+        # Contains: keywords that actually occur under the anchor.
+        if rng.random() < contains_probability:
+            tokens = tokenize_and_stem(document.full_text(trunk_nodes[-1]))
+            if tokens:
+                words = rng.sample(tokens, k=min(len(tokens), rng.randint(1, 2)))
+                contains.append(Contains(distinguished, conjunction(*words)))
+
+        try:
+            return TPQ(
+                root_var, edges, tags, distinguished, contains=contains
+            )
+        except Exception:
+            return None
+
+
+def generate_workload(document, count, seed=0, **options):
+    """Convenience wrapper around :class:`WorkloadGenerator`."""
+    return WorkloadGenerator(document, seed=seed).generate(count, **options)

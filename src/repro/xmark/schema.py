@@ -1,0 +1,52 @@
+"""The XMark schema fragment the generator produces.
+
+This documents (and the generator enforces) the DTD subset exercised by the
+paper's evaluation queries — in particular the three features §6 calls out
+as enabling relaxations:
+
+- **recursive nodes** (``parlist``): ``description → (text | parlist)``,
+  ``parlist → listitem+``, ``listitem → (text | parlist)`` — so
+  ``description//parlist`` reaches deeper than ``description/parlist``
+  (enables axis generalization);
+- **optional nodes** (``incategory``): an item carries zero or more —
+  (enables leaf deletion);
+- **shared nodes** (``text``): appears under ``mail``, ``description`` and
+  ``listitem`` — (enables subtree promotion).
+
+Element tree produced::
+
+    site
+    ├── regions
+    │   └── {africa,asia,australia,europe,namerica,samerica}
+    │       └── item*
+    │           ├── location, quantity, name, payment
+    │           ├── description → (text | parlist)
+    │           ├── shipping
+    │           ├── incategory*          (0..3, optional)
+    │           └── mailbox → mail* → (from, to, date, text)
+    ├── categories → category* → (name, description)
+    └── people → person* → (name, emailaddress, ...)
+
+    text → #PCDATA with optional inline bold / keyword / emph children
+"""
+
+from __future__ import annotations
+
+ITEM_CHILDREN = (
+    "location",
+    "quantity",
+    "name",
+    "payment",
+    "description",
+    "shipping",
+    "incategory",
+    "mailbox",
+)
+
+TEXT_INLINE = ("bold", "keyword", "emph")
+
+RECURSIVE_TAGS = ("parlist", "listitem")
+
+OPTIONAL_TAGS = ("incategory", "bold", "keyword", "emph")
+
+SHARED_TAGS = ("text", "name", "description")

@@ -1,0 +1,57 @@
+"""Word pools for the XMark-like generator.
+
+The real XMark generator draws its prose from Shakespeare; we use a fixed
+vocabulary of common English plus a pool of *marker terms* whose injection
+probability the benchmarks control, so ``contains`` selectivities are
+predictable and documented per experiment.
+"""
+
+from __future__ import annotations
+
+# A compact general-purpose vocabulary (~200 words). Stop words are fine —
+# the tokenizer drops them, which mirrors real prose.
+VOCABULARY = """
+time year people way day man thing woman life child world school state
+family student group country problem hand part place case week company
+system program question work government number night point home water room
+mother area money story fact month lot right study book eye job word
+business issue side kind head house service friend father power hour game
+line end member law car city community name president team minute idea kid
+body information back parent face others level office door health person art
+war history party result change morning reason research girl guy moment air
+teacher force education foot boy age policy process music market sense
+nation plan college interest death experience effect use class control care
+field development role effort rate heart drug show leader light voice wife
+whole police mind price report decision son view relationship town road
+arm difference value building action model season society tax director
+position player record paper space ground form event official matter center
+couple site project activity star table need court produce american oil
+situation cost industry figure street image phone data picture practice
+piece land product doctor wall patient worker news test movie north love
+support technology
+""".split()
+
+# Marker terms injected at controlled rates; benchmarks search for these.
+MARKERS = (
+    "gold", "vintage", "auction", "treasure", "rare",
+    "bargain", "antique", "premium", "handmade", "limited",
+)
+
+FIRST_NAMES = (
+    "alice", "bruno", "carla", "dmitri", "elena", "farid", "greta",
+    "hiro", "irene", "jonas", "kira", "luis", "maria", "nadia",
+    "olaf", "priya", "quinn", "rosa", "sven", "tara",
+)
+
+LAST_NAMES = (
+    "anders", "baker", "costa", "duran", "eriksen", "fischer", "garcia",
+    "haddad", "ito", "jensen", "kovacs", "lindgren", "moreau", "novak",
+    "okafor", "petrov", "quintero", "rossi", "silva", "tanaka",
+)
+
+CATEGORY_WORDS = (
+    "coins", "stamps", "books", "paintings", "furniture", "jewelry",
+    "maps", "clocks", "ceramics", "instruments", "textiles", "tools",
+)
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")

@@ -1,0 +1,27 @@
+"""Region-encoded XML document model.
+
+The substrate every other subsystem builds on: a pre-order node store with
+``(start, end, level)`` region encoding, a tag index for structural joins,
+a small XML parser, programmatic builders, and a serializer.
+"""
+
+from repro.xmltree.builder import TreeBuilder, build_document, element
+from repro.xmltree.document import Document
+from repro.xmltree.node import XMLNode
+from repro.xmltree.parser import parse, parse_file
+from repro.xmltree.serialize import to_xml, write_xml
+from repro.xmltree.storage import dump_document, load_document
+
+__all__ = [
+    "Document",
+    "TreeBuilder",
+    "XMLNode",
+    "build_document",
+    "dump_document",
+    "element",
+    "load_document",
+    "parse",
+    "parse_file",
+    "to_xml",
+    "write_xml",
+]

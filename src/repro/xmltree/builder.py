@@ -1,0 +1,118 @@
+"""Programmatic construction of :class:`~repro.xmltree.document.Document`.
+
+Two styles are supported:
+
+- the event-style :class:`TreeBuilder` (``start`` / ``add_text`` / ``end``),
+  used by the XML parser and by the XMark generator, and
+- the literal-style :func:`element` / :func:`build_document` helpers, which
+  make tests and examples read like the tree they construct::
+
+      doc = build_document(
+          element("article",
+                  element("section",
+                          element("paragraph", text="XML streaming"))))
+"""
+
+from __future__ import annotations
+
+from repro.errors import FleXPathError
+from repro.xmltree.document import Document
+from repro.xmltree.node import XMLNode
+
+_WHITESPACE = " \t\r\n"
+
+
+def _normalize(text):
+    return " ".join(text.split())
+
+
+class TreeBuilder:
+    """Incremental document builder driven by start/text/end events."""
+
+    def __init__(self):
+        self._nodes = []
+        self._tag_index = {}
+        self._stack = []
+        self._finished = False
+
+    def start(self, tag, attributes=None):
+        """Open an element; returns its node id."""
+        if self._finished:
+            raise FleXPathError("document already has a complete root")
+        parent_id = self._stack[-1] if self._stack else -1
+        node = XMLNode(
+            node_id=len(self._nodes),
+            level=len(self._stack),
+            tag=tag,
+            parent_id=parent_id,
+            attributes=attributes,
+        )
+        self._nodes.append(node)
+        self._tag_index.setdefault(tag, []).append(node)
+        if parent_id >= 0:
+            self._nodes[parent_id].child_ids.append(node.node_id)
+        self._stack.append(node.node_id)
+        return node.node_id
+
+    def add_text(self, text):
+        """Append text to the currently open element."""
+        if not self._stack:
+            stripped = text.strip(_WHITESPACE)
+            if stripped:
+                raise FleXPathError("text outside of root element: %r" % stripped)
+            return
+        normalized = _normalize(text)
+        if not normalized:
+            return
+        node = self._nodes[self._stack[-1]]
+        node.text = normalized if not node.text else node.text + " " + normalized
+
+    def end(self, tag=None):
+        """Close the current element, checking the tag when given."""
+        if not self._stack:
+            raise FleXPathError("end() with no open element")
+        node = self._nodes[self._stack.pop()]
+        if tag is not None and node.tag != tag:
+            raise FleXPathError(
+                "mismatched end tag: expected </%s>, got </%s>" % (node.tag, tag)
+            )
+        node.end = len(self._nodes)
+        if not self._stack:
+            self._finished = True
+        return node.node_id
+
+    def finish(self):
+        """Return the completed document."""
+        if self._stack:
+            raise FleXPathError(
+                "unclosed element <%s>" % self._nodes[self._stack[-1]].tag
+            )
+        if not self._nodes:
+            raise FleXPathError("document is empty")
+        return Document(self._nodes, self._tag_index)
+
+
+def element(tag, *children, text=None, attributes=None):
+    """Describe an element literal for :func:`build_document`.
+
+    ``children`` are nested :func:`element` literals; ``text`` is the direct
+    text of the element.
+    """
+    return (tag, attributes, text, children)
+
+
+def build_document(root):
+    """Build a document from nested :func:`element` literals."""
+    builder = TreeBuilder()
+
+    def emit(literal):
+        tag, attributes, text, children = literal
+        builder.start(tag, attributes)
+        if text:
+            builder.add_text(text)
+        for child in children:
+            emit(child)
+        builder.end()
+
+    emit(root)
+    return builder.finish()

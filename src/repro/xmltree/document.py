@@ -1,0 +1,171 @@
+"""Document: an immutable store of XML element nodes with a tag index.
+
+A :class:`Document` owns a list of :class:`~repro.xmltree.node.XMLNode`
+objects indexed by node id (pre-order rank) plus an inverted *tag index*
+mapping each tag to the id-sorted list of nodes carrying it. Tag lists are
+the inputs to structural joins; being naturally sorted by region start is
+what makes the stack-based join a single merge pass.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import FleXPathError
+from repro.xmltree.node import XMLNode
+
+
+class Document:
+    """An ordered, region-encoded XML document.
+
+    Instances are built by :class:`~repro.xmltree.builder.TreeBuilder` or by
+    :func:`~repro.xmltree.parser.parse`; direct construction is internal.
+    """
+
+    def __init__(self, nodes, tag_index):
+        self._nodes = nodes
+        self._tag_index = tag_index
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self):
+        return len(self._nodes)
+
+    def node(self, node_id):
+        """Return the node with the given id."""
+        return self._nodes[node_id]
+
+    @property
+    def root(self):
+        """Return the root node."""
+        if not self._nodes:
+            raise FleXPathError("document is empty")
+        return self._nodes[0]
+
+    def nodes(self):
+        """Iterate over all nodes in document (pre-)order."""
+        return iter(self._nodes)
+
+    @property
+    def tags(self):
+        """Return the set of tags present in the document."""
+        return set(self._tag_index)
+
+    def nodes_with_tag(self, tag):
+        """Return the id-sorted list of nodes with the given tag.
+
+        The returned list is shared with the index; callers must not
+        mutate it.
+        """
+        return self._tag_index.get(tag, [])
+
+    def count(self, tag):
+        """Return the number of elements with the given tag."""
+        return len(self._tag_index.get(tag, ()))
+
+    # -- navigation --------------------------------------------------------
+
+    def parent(self, node):
+        """Return the parent node, or None for the root."""
+        if node.parent_id < 0:
+            return None
+        return self._nodes[node.parent_id]
+
+    def children(self, node):
+        """Return the list of child nodes in document order."""
+        return [self._nodes[cid] for cid in node.child_ids]
+
+    def ancestors(self, node):
+        """Yield proper ancestors from parent up to the root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def descendants(self, node):
+        """Yield proper descendants in document order."""
+        for node_id in range(node.start + 1, node.end):
+            yield self._nodes[node_id]
+
+    def subtree_nodes(self, node):
+        """Yield the node itself followed by its descendants."""
+        for node_id in range(node.start, node.end):
+            yield self._nodes[node_id]
+
+    def path_to_root(self, node):
+        """Return the list of tags from this node up to the root."""
+        tags = [node.tag]
+        tags.extend(ancestor.tag for ancestor in self.ancestors(node))
+        return tags
+
+    def lowest_common_ancestor(self, first, second):
+        """Return the lowest node whose region covers both arguments."""
+        low, high = (first, second) if first.start <= second.start else (second, first)
+        if low.contains_region(high) or low.node_id == high.node_id:
+            return low
+        current = self.parent(low)
+        while current is not None:
+            if current.contains_region(high):
+                return current
+            current = self.parent(current)
+        raise FleXPathError("nodes do not share a root")
+
+    # -- text --------------------------------------------------------------
+
+    def direct_text(self, node):
+        """Return the text immediately inside the element."""
+        return node.text
+
+    def full_text(self, node):
+        """Return the concatenated text of the whole subtree."""
+        parts = []
+        for sub in self.subtree_nodes(node):
+            if sub.text:
+                parts.append(sub.text)
+        return " ".join(parts)
+
+    # -- structural predicates ---------------------------------------------
+
+    def is_parent(self, ancestor, descendant):
+        """Return True if ``ancestor`` is the parent of ``descendant``."""
+        return ancestor.is_parent_of(descendant)
+
+    def is_ancestor(self, ancestor, descendant):
+        """Return True if ``ancestor`` is a proper ancestor of ``descendant``."""
+        return ancestor.is_ancestor_of(descendant)
+
+    def descendants_with_tag(self, node, tag):
+        """Return descendants of ``node`` having ``tag``, in document order.
+
+        Uses binary search over the id-sorted tag list, so the cost is
+        O(log n + k) for k results.
+        """
+        tag_nodes = self._tag_index.get(tag, [])
+        if not tag_nodes:
+            return []
+        starts = [n.start for n in tag_nodes]
+        lo = bisect.bisect_right(starts, node.start)
+        hi = bisect.bisect_left(starts, node.end, lo=lo)
+        return tag_nodes[lo:hi]
+
+    def children_with_tag(self, node, tag):
+        """Return children of ``node`` having ``tag``, in document order."""
+        return [
+            child
+            for child in self.descendants_with_tag(node, tag)
+            if child.level == node.level + 1 and child.parent_id == node.node_id
+        ]
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_summary(self):
+        """Return a small dict describing the document (for logging/tests)."""
+        return {
+            "nodes": len(self._nodes),
+            "tags": len(self._tag_index),
+            "depth": max((n.level for n in self._nodes), default=0),
+            "text_bytes": sum(len(n.text) for n in self._nodes),
+        }
+
+    def __repr__(self):
+        return "Document(nodes=%d, tags=%d)" % (len(self._nodes), len(self._tag_index))

@@ -1,0 +1,81 @@
+"""XML node model with region encoding.
+
+Every node in a :class:`~repro.xmltree.document.Document` carries a *region
+encoding* ``(start, end, level)`` assigned during a single pre-order
+traversal:
+
+- ``start`` is the node's pre-order rank (and also its node id),
+- ``end`` is one past the largest ``start`` in the node's subtree,
+- ``level`` is the depth of the node (the root has level 0).
+
+Region encoding makes the two structural predicates of tree pattern queries
+O(1) to test:
+
+- ``ad(a, d)``  iff  ``a.start < d.start and d.end <= a.end``
+- ``pc(a, d)``  iff  ``ad(a, d) and d.level == a.level + 1``
+
+This is the encoding used by the stack-based structural join of
+Al-Khalifa et al. (ICDE 2002), which the FleXPath paper builds on.
+"""
+
+from __future__ import annotations
+
+
+class XMLNode:
+    """A single element node.
+
+    Attributes:
+        node_id: pre-order rank; equal to ``start``.
+        start: region start (inclusive).
+        end: region end (exclusive); ``end - start`` is the subtree size.
+        level: depth from the root (root is 0).
+        tag: element tag name.
+        text: text directly inside this element (concatenated over all its
+            direct text children, whitespace-normalized).
+        parent_id: node id of the parent, or ``-1`` for the root.
+        attributes: dict of XML attributes (may be empty).
+    """
+
+    __slots__ = (
+        "node_id",
+        "start",
+        "end",
+        "level",
+        "tag",
+        "text",
+        "parent_id",
+        "attributes",
+        "child_ids",
+    )
+
+    def __init__(self, node_id, level, tag, parent_id, attributes=None):
+        self.node_id = node_id
+        self.start = node_id
+        self.end = node_id + 1
+        self.level = level
+        self.tag = tag
+        self.text = ""
+        self.parent_id = parent_id
+        self.attributes = attributes or {}
+        self.child_ids = []
+
+    def contains_region(self, other):
+        """Return True if ``other`` lies strictly within this node's region."""
+        return self.start < other.start and other.end <= self.end
+
+    def is_ancestor_of(self, other):
+        """Return True if this node is a proper ancestor of ``other``."""
+        return self.contains_region(other)
+
+    def is_parent_of(self, other):
+        """Return True if this node is the parent of ``other``."""
+        return self.contains_region(other) and other.level == self.level + 1
+
+    def __repr__(self):
+        return "XMLNode(id=%d, tag=%r, start=%d, end=%d, level=%d)" % (
+            self.node_id,
+            self.tag,
+            self.start,
+            self.end,
+            self.level,
+        )

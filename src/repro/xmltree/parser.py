@@ -1,0 +1,226 @@
+"""A small, dependency-free XML parser.
+
+Handles the XML subset needed for this reproduction: elements with
+attributes, character data, entity references (the five predefined ones plus
+numeric references), comments, CDATA sections, processing instructions, and
+an optional XML declaration / doctype. It does not handle namespaces as
+anything other than literal tag text, which matches how the paper treats
+tags.
+
+The parser drives a :class:`~repro.xmltree.builder.TreeBuilder`, so the
+result is a region-encoded :class:`~repro.xmltree.document.Document` ready
+for structural joins and indexing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xmltree.builder import TreeBuilder
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+def parse(text):
+    """Parse an XML string into a :class:`Document`."""
+    return _Parser(text).parse()
+
+
+def parse_file(path, encoding="utf-8"):
+    """Parse an XML file into a :class:`Document`."""
+    with open(path, "r", encoding=encoding) as handle:
+        return parse(handle.read())
+
+
+class _Parser:
+    def __init__(self, text):
+        self._text = text
+        self._pos = 0
+        self._length = len(text)
+        self._builder = TreeBuilder()
+
+    def parse(self):
+        self._skip_prolog()
+        if self._pos >= self._length or self._text[self._pos] != "<":
+            raise XMLParseError("expected root element", self._pos)
+        self._parse_element()
+        self._skip_misc()
+        if self._pos != self._length:
+            raise XMLParseError("trailing content after root element", self._pos)
+        return self._builder.finish()
+
+    # -- prolog / misc -----------------------------------------------------
+
+    def _skip_prolog(self):
+        while True:
+            self._skip_whitespace()
+            if self._text.startswith("<?", self._pos):
+                self._skip_until("?>")
+            elif self._text.startswith("<!--", self._pos):
+                self._skip_until("-->")
+            elif self._text.startswith("<!DOCTYPE", self._pos):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_misc(self):
+        while True:
+            self._skip_whitespace()
+            if self._text.startswith("<!--", self._pos):
+                self._skip_until("-->")
+            elif self._text.startswith("<?", self._pos):
+                self._skip_until("?>")
+            else:
+                return
+
+    def _skip_doctype(self):
+        depth = 0
+        start = self._pos
+        while self._pos < self._length:
+            char = self._text[self._pos]
+            self._pos += 1
+            if char == "<":
+                depth += 1
+            elif char == ">":
+                depth -= 1
+                if depth == 0:
+                    return
+        raise XMLParseError("unterminated DOCTYPE", start)
+
+    # -- elements ----------------------------------------------------------
+
+    def _parse_element(self):
+        start = self._pos
+        self._expect("<")
+        tag = self._parse_name()
+        attributes = self._parse_attributes()
+        self._skip_whitespace()
+        if self._text.startswith("/>", self._pos):
+            self._pos += 2
+            self._builder.start(tag, attributes)
+            self._builder.end(tag)
+            return
+        self._expect(">")
+        self._builder.start(tag, attributes)
+        self._parse_content(tag, start)
+        self._builder.end(tag)
+
+    def _parse_content(self, tag, element_start):
+        text_start = self._pos
+        while True:
+            lt = self._text.find("<", self._pos)
+            if lt < 0:
+                raise XMLParseError("unterminated element <%s>" % tag, element_start)
+            if lt > self._pos:
+                self._builder.add_text(self._decode(self._text[self._pos:lt]))
+            self._pos = lt
+            if self._text.startswith("</", self._pos):
+                self._pos += 2
+                end_tag = self._parse_name()
+                self._skip_whitespace()
+                self._expect(">")
+                if end_tag != tag:
+                    raise XMLParseError(
+                        "mismatched end tag </%s> for <%s>" % (end_tag, tag),
+                        lt,
+                    )
+                return
+            if self._text.startswith("<!--", self._pos):
+                self._skip_until("-->")
+            elif self._text.startswith("<![CDATA[", self._pos):
+                end = self._text.find("]]>", self._pos)
+                if end < 0:
+                    raise XMLParseError("unterminated CDATA section", self._pos)
+                self._builder.add_text(self._text[self._pos + 9:end])
+                self._pos = end + 3
+            elif self._text.startswith("<?", self._pos):
+                self._skip_until("?>")
+            else:
+                self._parse_element()
+            text_start = self._pos
+
+    def _parse_attributes(self):
+        attributes = None
+        while True:
+            self._skip_whitespace()
+            if self._pos >= self._length:
+                raise XMLParseError("unterminated start tag", self._pos)
+            char = self._text[self._pos]
+            if char in (">", "/"):
+                return attributes
+            name = self._parse_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._text[self._pos:self._pos + 1]
+            if quote not in ("'", '"'):
+                raise XMLParseError("attribute value must be quoted", self._pos)
+            self._pos += 1
+            end = self._text.find(quote, self._pos)
+            if end < 0:
+                raise XMLParseError("unterminated attribute value", self._pos)
+            value = self._decode(self._text[self._pos:end])
+            self._pos = end + 1
+            if attributes is None:
+                attributes = {}
+            attributes[name] = value
+
+    # -- lexical helpers ---------------------------------------------------
+
+    def _parse_name(self):
+        start = self._pos
+        if start >= self._length or self._text[start] not in _NAME_START:
+            raise XMLParseError("expected a name", start)
+        pos = start + 1
+        text = self._text
+        while pos < self._length and text[pos] in _NAME_CHARS:
+            pos += 1
+        self._pos = pos
+        return text[start:pos]
+
+    def _decode(self, raw):
+        if "&" not in raw:
+            return raw
+        parts = []
+        pos = 0
+        while True:
+            amp = raw.find("&", pos)
+            if amp < 0:
+                parts.append(raw[pos:])
+                return "".join(parts)
+            parts.append(raw[pos:amp])
+            semi = raw.find(";", amp)
+            if semi < 0:
+                raise XMLParseError("unterminated entity reference")
+            entity = raw[amp + 1:semi]
+            if entity.startswith("#x") or entity.startswith("#X"):
+                parts.append(chr(int(entity[2:], 16)))
+            elif entity.startswith("#"):
+                parts.append(chr(int(entity[1:])))
+            elif entity in _ENTITIES:
+                parts.append(_ENTITIES[entity])
+            else:
+                raise XMLParseError("unknown entity &%s;" % entity)
+            pos = semi + 1
+
+    def _skip_whitespace(self):
+        text = self._text
+        pos = self._pos
+        while pos < self._length and text[pos] in " \t\r\n":
+            pos += 1
+        self._pos = pos
+
+    def _skip_until(self, marker):
+        end = self._text.find(marker, self._pos)
+        if end < 0:
+            raise XMLParseError("unterminated %r construct" % marker, self._pos)
+        self._pos = end + len(marker)
+
+    def _expect(self, literal):
+        if not self._text.startswith(literal, self._pos):
+            raise XMLParseError("expected %r" % literal, self._pos)
+        self._pos += len(literal)

@@ -1,0 +1,54 @@
+"""Serialization of documents back to XML text."""
+
+from __future__ import annotations
+
+
+def _escape_text(text):
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(text):
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def to_xml(document, indent="  "):
+    """Serialize a document to a pretty-printed XML string.
+
+    Direct text of an element is emitted before its children; the exact
+    interleaving of text and child elements is not preserved (the document
+    model normalizes text), which is fine for this library's query-oriented
+    use.
+    """
+    parts = []
+
+    def emit(node, depth):
+        pad = indent * depth
+        attrs = "".join(
+            ' %s="%s"' % (name, _escape_attr(value))
+            for name, value in sorted(node.attributes.items())
+        )
+        children = document.children(node)
+        if not children and not node.text:
+            parts.append("%s<%s%s/>\n" % (pad, node.tag, attrs))
+            return
+        if not children:
+            parts.append(
+                "%s<%s%s>%s</%s>\n"
+                % (pad, node.tag, attrs, _escape_text(node.text), node.tag)
+            )
+            return
+        parts.append("%s<%s%s>\n" % (pad, node.tag, attrs))
+        if node.text:
+            parts.append("%s%s\n" % (indent * (depth + 1), _escape_text(node.text)))
+        for child in children:
+            emit(child, depth + 1)
+        parts.append("%s</%s>\n" % (pad, node.tag))
+
+    emit(document.root, 0)
+    return "".join(parts)
+
+
+def write_xml(document, path, indent="  ", encoding="utf-8"):
+    """Serialize a document to a file."""
+    with open(path, "w", encoding=encoding) as handle:
+        handle.write(to_xml(document, indent=indent))

@@ -1,0 +1,161 @@
+"""Compact persistence for parsed documents.
+
+XML parsing is the slowest fixed cost in the pipeline; a document that will
+be queried repeatedly is better stored in a line-oriented dump of the node
+table (the region encoding is implicit in the pre-order layout, so only
+parent, tag, attributes and text need storing). Loading replays the dump
+through the tree builder and is several times faster than re-parsing XML.
+
+Format (version 1)::
+
+    flexpath-doc 1
+    <node-count>
+    <parent-id>\t<tag>\t<attr-json-ish>\t<escaped-text>
+    ...
+
+Text and attribute values are escaped with backslash sequences so the
+format stays line-oriented. The format is an internal convenience, not an
+interchange format — use :mod:`repro.xmltree.serialize` for XML output.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FleXPathError
+from repro.xmltree.document import Document
+from repro.xmltree.node import XMLNode
+
+_MAGIC = "flexpath-doc 1"
+
+
+def _escape(text):
+    return (
+        text.replace("\\", "\\\\")
+        .replace("\t", "\\t")
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+    )
+
+
+def _unescape(text):
+    parts = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\\" and index + 1 < length:
+            follower = text[index + 1]
+            if follower == "t":
+                parts.append("\t")
+            elif follower == "n":
+                parts.append("\n")
+            elif follower == "r":
+                parts.append("\r")
+            elif follower == "\\":
+                parts.append("\\")
+            else:
+                raise FleXPathError("bad escape \\%s" % follower)
+            index += 2
+        else:
+            parts.append(char)
+            index += 1
+    return "".join(parts)
+
+
+def _encode_attributes(attributes):
+    if not attributes:
+        return ""
+    return "\x1f".join(
+        "%s=%s" % (_escape(name), _escape(value))
+        for name, value in sorted(attributes.items())
+    )
+
+
+def _decode_attributes(field):
+    if not field:
+        return {}
+    attributes = {}
+    for pair in field.split("\x1f"):
+        name, _sep, value = pair.partition("=")
+        attributes[_unescape(name)] = _unescape(value)
+    return attributes
+
+
+def dump_document(document, path):
+    """Write a document to the compact node-table format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_MAGIC + "\n")
+        handle.write("%d\n" % len(document))
+        for node in document.nodes():
+            handle.write(
+                "%d\t%s\t%s\t%s\n"
+                % (
+                    node.parent_id,
+                    _escape(node.tag),
+                    _encode_attributes(node.attributes),
+                    _escape(node.text),
+                )
+            )
+
+
+def load_document(path):
+    """Load a document previously written by :func:`dump_document`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _MAGIC:
+            raise FleXPathError(
+                "not a flexpath document dump (bad header %r)" % header
+            )
+        try:
+            count = int(handle.readline())
+        except ValueError:
+            raise FleXPathError("corrupt dump: missing node count") from None
+
+        nodes = []
+        tag_index = {}
+        levels = {}
+        for node_id in range(count):
+            line = handle.readline()
+            if not line:
+                raise FleXPathError(
+                    "corrupt dump: expected %d nodes, found %d" % (count, node_id)
+                )
+            fields = line.rstrip("\n").split("\t")
+            if len(fields) != 4:
+                raise FleXPathError("corrupt dump at node %d" % node_id)
+            parent_id = int(fields[0])
+            tag = _unescape(fields[1])
+            if parent_id < 0:
+                level = 0
+            else:
+                if parent_id >= node_id:
+                    raise FleXPathError(
+                        "corrupt dump: node %d precedes its parent" % node_id
+                    )
+                level = levels[parent_id] + 1
+            levels[node_id] = level
+            node = XMLNode(
+                node_id=node_id,
+                level=level,
+                tag=tag,
+                parent_id=parent_id,
+                attributes=_decode_attributes(fields[2]) or None,
+            )
+            node.text = _unescape(fields[3])
+            nodes.append(node)
+            tag_index.setdefault(tag, []).append(node)
+            if parent_id >= 0:
+                nodes[parent_id].child_ids.append(node_id)
+
+        if not nodes:
+            raise FleXPathError("corrupt dump: empty document")
+
+        # Recompute region ends from the pre-order parent layout.
+        for node in nodes:
+            node.end = node.node_id + 1
+        for node in reversed(nodes):
+            if node.parent_id >= 0:
+                parent = nodes[node.parent_id]
+                if node.end > parent.end:
+                    parent.end = node.end
+
+        return Document(nodes, tag_index)

@@ -1,0 +1,72 @@
+"""Highlighting and snippet extraction."""
+
+from repro.ir import highlight, parse_ftexpr, snippet
+
+
+class TestHighlight:
+    def test_marks_matching_words(self):
+        expr = parse_ftexpr('"xml"')
+        assert highlight("pure xml data", expr) == "pure **xml** data"
+
+    def test_stemming_bridges_forms(self):
+        expr = parse_ftexpr('"streaming"')
+        assert highlight("we stream the data", expr) == "we **stream** the data"
+
+    def test_case_insensitive(self):
+        expr = parse_ftexpr('"xml"')
+        assert highlight("About XML here", expr) == "About **XML** here"
+
+    def test_multiple_terms(self):
+        expr = parse_ftexpr('"gold" and "ring"')
+        marked = highlight("a gold ring of gold", expr)
+        assert marked == "a **gold** **ring** of **gold**"
+
+    def test_negated_terms_not_marked(self):
+        expr = parse_ftexpr('"gold" and not "ring"')
+        assert highlight("gold ring", expr) == "**gold** ring"
+
+    def test_stop_words_never_marked(self):
+        expr = parse_ftexpr('"the"')
+        assert highlight("the thing", expr) == "the thing"
+
+    def test_no_match_returns_original(self):
+        expr = parse_ftexpr('"zzz"')
+        assert highlight("plain text", expr) == "plain text"
+
+    def test_custom_markers(self):
+        expr = parse_ftexpr('"xml"')
+        assert (
+            highlight("xml", expr, marker=("<em>", "</em>")) == "<em>xml</em>"
+        )
+
+    def test_punctuation_boundaries(self):
+        expr = parse_ftexpr('"xml"')
+        assert highlight("xml, xml.", expr) == "**xml**, **xml**."
+
+
+class TestSnippet:
+    def test_windows_around_first_match(self):
+        expr = parse_ftexpr('"needle"')
+        text = "x " * 100 + "the needle is here " + "y " * 100
+        result = snippet(text, expr, width=40)
+        assert "**needle**" in result
+        assert len(result) <= 40 + 10 + len("******")
+        assert result.startswith("...")
+        assert result.endswith("...")
+
+    def test_short_text_untouched_except_marking(self):
+        expr = parse_ftexpr('"xml"')
+        assert snippet("tiny xml doc", expr, width=50) == "tiny **xml** doc"
+
+    def test_no_match_truncates_prefix(self):
+        expr = parse_ftexpr('"zzz"')
+        text = "a" * 200
+        result = snippet(text, expr, width=50)
+        assert result == "a" * 50 + "..."
+
+    def test_match_at_start_has_no_leading_ellipsis(self):
+        expr = parse_ftexpr('"first"')
+        text = "first word then " + "pad " * 50
+        result = snippet(text, expr, width=30)
+        assert result.startswith("**first**")
+        assert result.endswith("...")

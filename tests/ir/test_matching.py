@@ -1,0 +1,89 @@
+"""Boolean FTExp satisfaction over token sequences."""
+
+from repro.ir import ftexpr_matches, parse_ftexpr, tokenize_and_stem
+
+
+def matches(expr_text, document_text):
+    return ftexpr_matches(
+        parse_ftexpr(expr_text), tokenize_and_stem(document_text)
+    )
+
+
+class TestTerms:
+    def test_present(self):
+        assert matches('"xml"', "all about xml data")
+
+    def test_absent(self):
+        assert not matches('"xml"', "all about json data")
+
+    def test_stemming_bridges_inflections(self):
+        assert matches('"streaming"', "we stream the data")
+        assert matches('"stream"', "streaming queries")
+
+    def test_stop_word_term_never_matches(self):
+        assert not matches('"the"', "the the the")
+
+
+class TestBoolean:
+    def test_and(self):
+        assert matches('"xml" and "stream"', "xml streams here")
+        assert not matches('"xml" and "stream"', "xml only")
+
+    def test_or(self):
+        assert matches('"xml" or "json"', "json blob")
+        assert not matches('"xml" or "json"', "csv file")
+
+    def test_not(self):
+        assert matches('"xml" and not "json"', "xml data")
+        assert not matches('"xml" and not "json"', "xml and json data")
+
+    def test_nested(self):
+        expr = '("apple" or "pear") and not ("plum" and "grape")'
+        assert matches(expr, "apple with plum")
+        assert not matches(expr, "apple with plum and grape")
+
+
+class TestPhrase:
+    def test_consecutive_words(self):
+        assert matches('"query processing"', "fast query processing engine")
+
+    def test_non_consecutive_fails(self):
+        # "slow" is not a stop word, so it keeps the phrase words apart.
+        assert not matches('"query processing"', "query slow processing engine")
+
+    def test_order_matters(self):
+        assert not matches('"processing query"', "query processing")
+
+    def test_phrase_over_stop_word_gap(self):
+        # Stop words vanish from the token stream, making the remaining
+        # words adjacent. Classic IR behaviour for stop-worded phrase search.
+        assert matches('"state art"', "state of the art")
+
+
+class TestWindow:
+    def test_within_window(self):
+        assert matches('window(3, "xml", "fast")', "xml is very fast")
+
+    def test_outside_window(self):
+        text = "xml one two three four five six seven fast"
+        assert not matches('window(3, "xml", "fast")', text)
+
+    def test_window_order_free(self):
+        assert matches('window(4, "fast", "xml")', "xml engines run fast")
+
+    def test_window_three_terms(self):
+        assert matches(
+            'window(5, "top", "k", "answers")', "the top k ranked answers"
+        )
+        assert not matches(
+            'window(2, "top", "k", "answers")', "top k of all ranked answers"
+        )
+
+    def test_window_missing_term(self):
+        assert not matches('window(5, "xml", "ghost")', "xml data here")
+
+    def test_window_exact_span_boundary(self):
+        # positions 0 and 2 span 3 tokens: inside window(3), outside window(2).
+        text = "xml big fast"
+        assert matches('window(3, "xml", "fast")', text)
+        assert not matches('window(2, "xml", "fast")', text)

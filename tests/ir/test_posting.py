@@ -1,0 +1,56 @@
+"""The Posting data structure in isolation."""
+
+import pytest
+
+from repro.ir import Posting
+
+
+@pytest.fixture()
+def posting():
+    p = Posting()
+    p.add(2, [0, 4])
+    p.add(5, [1])
+    p.add(9, [0, 1, 2])
+    return p
+
+
+class TestCounters:
+    def test_document_frequency(self, posting):
+        assert posting.document_frequency == 3
+
+    def test_collection_frequency(self, posting):
+        assert posting.collection_frequency == 6
+
+    def test_prefix_sums(self, posting):
+        assert posting.count_prefix == [0, 2, 3, 6]
+
+
+class TestRegionQueries:
+    def test_subtree_occurrences(self, posting):
+        assert posting.subtree_occurrences(0, 10) == 6
+        assert posting.subtree_occurrences(2, 6) == 3
+        assert posting.subtree_occurrences(3, 5) == 0
+        assert posting.subtree_occurrences(9, 10) == 3
+
+    def test_subtree_has(self, posting):
+        assert posting.subtree_has(0, 3)
+        assert posting.subtree_has(5, 6)
+        assert not posting.subtree_has(3, 5)
+        assert not posting.subtree_has(10, 20)
+
+    def test_direct_node_ids_in(self, posting):
+        assert posting.direct_node_ids_in(0, 10) == [2, 5, 9]
+        assert posting.direct_node_ids_in(3, 10) == [5, 9]
+        assert posting.direct_node_ids_in(3, 4) == []
+
+    def test_positions_of(self, posting):
+        assert posting.positions_of(2) == (0, 4)
+        assert posting.positions_of(3) == ()
+        assert posting.positions_of(9) == (0, 1, 2)
+
+    def test_empty_posting(self):
+        empty = Posting()
+        assert empty.document_frequency == 0
+        assert empty.collection_frequency == 0
+        assert not empty.subtree_has(0, 100)
+        assert empty.subtree_occurrences(0, 100) == 0

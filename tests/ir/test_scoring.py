@@ -1,0 +1,76 @@
+"""Keyword scoring: normalized tf-idf."""
+
+import pytest
+
+from repro.ir import (
+    InvertedIndex,
+    idf,
+    parse_ftexpr,
+    positive_terms,
+    score_subtree,
+    tf_saturation,
+)
+from repro.xmltree import parse
+
+
+@pytest.fixture()
+def doc():
+    return parse(
+        "<lib>"
+        "<a>xml xml xml stream</a>"
+        "<b>xml</b>"
+        "<c>other words entirely</c>"
+        "</lib>"
+    )
+
+
+@pytest.fixture()
+def index(doc):
+    return InvertedIndex(doc)
+
+
+class TestComponents:
+    def test_tf_saturation_bounds(self):
+        assert tf_saturation(0) == 0.0
+        assert 0 < tf_saturation(1) < tf_saturation(10) < 1.0
+
+    def test_idf_decreases_with_frequency(self, index):
+        assert idf(index, "other") > idf(index, "xml")
+
+    def test_idf_of_unknown_term_is_largest(self, index):
+        assert idf(index, "zzz") >= idf(index, "other")
+
+    def test_positive_terms_skips_negated(self):
+        expr = parse_ftexpr('"a" and not "b" and ("c" or not "d")')
+        assert positive_terms(expr) == ["a", "c"]
+
+    def test_positive_terms_double_negation(self):
+        expr = parse_ftexpr('not not "a"')
+        assert positive_terms(expr) == ["a"]
+
+    def test_positive_terms_deduplicates(self):
+        expr = parse_ftexpr('"a" and "a"')
+        assert positive_terms(expr) == ["a"]
+
+
+class TestScores:
+    def test_range(self, doc, index):
+        for node in doc.nodes():
+            score = score_subtree(index, node, ["xml", "stream"])
+            assert 0.0 <= score < 1.0
+
+    def test_more_occurrences_score_higher(self, doc, index):
+        a, b, _c = (doc.nodes_with_tag(t)[0] for t in "abc")
+        assert score_subtree(index, a, ["xml"]) > score_subtree(index, b, ["xml"])
+
+    def test_zero_for_irrelevant_node(self, doc, index):
+        c = doc.nodes_with_tag("c")[0]
+        assert score_subtree(index, c, ["xml"]) == 0.0
+
+    def test_empty_terms(self, doc, index):
+        assert score_subtree(index, doc.root, []) == 0.0
+
+    def test_covering_both_terms_beats_one(self, doc, index):
+        a, b = doc.nodes_with_tag("a")[0], doc.nodes_with_tag("b")[0]
+        terms = ["xml", "stream"]
+        assert score_subtree(index, a, terms) > score_subtree(index, b, terms)

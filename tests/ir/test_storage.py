@@ -1,0 +1,87 @@
+"""Inverted-index persistence."""
+
+import pytest
+
+from repro.errors import FleXPathError
+from repro.ir import IREngine, InvertedIndex, parse_ftexpr
+from repro.ir.storage import dump_index, load_index
+from repro.xmark import generate_document
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return generate_document(target_bytes=20_000, seed=6)
+
+
+@pytest.fixture(scope="module")
+def index(doc):
+    return InvertedIndex(doc)
+
+
+class TestRoundTrip:
+    def test_postings_identical(self, doc, index, tmp_path):
+        path = str(tmp_path / "idx.fxi")
+        dump_index(index, path)
+        loaded = load_index(doc, path)
+        assert loaded.vocabulary_size == index.vocabulary_size
+        assert loaded.text_element_count == index.text_element_count
+        for term in ("vintag", "time", "peopl"):
+            original = index.posting(term)
+            copy = loaded.posting(term)
+            if original is None:
+                assert copy is None
+                continue
+            assert copy.node_ids == original.node_ids
+            assert copy.position_lists == original.position_lists
+            assert copy.count_prefix == original.count_prefix
+
+    def test_engine_answers_agree(self, doc, index, tmp_path):
+        path = str(tmp_path / "idx.fxi")
+        dump_index(index, path)
+        loaded = load_index(doc, path)
+        fresh = IREngine(doc, index=index)
+        reloaded = IREngine(doc, index=loaded)
+        expr = parse_ftexpr('"vintage" or "treasure"')
+        assert [
+            (m.node.node_id, round(m.score, 9))
+            for m in fresh.most_specific_matches(expr)
+        ] == [
+            (m.node.node_id, round(m.score, 9))
+            for m in reloaded.most_specific_matches(expr)
+        ]
+
+    def test_subtree_counts_agree(self, doc, index, tmp_path):
+        path = str(tmp_path / "idx.fxi")
+        dump_index(index, path)
+        loaded = load_index(doc, path)
+        item = doc.nodes_with_tag("item")[0]
+        for term in ("time", "vintag", "absentterm"):
+            assert loaded.subtree_term_frequency(
+                term, item
+            ) == index.subtree_term_frequency(term, item)
+
+
+class TestCorruptInputs:
+    def test_bad_header(self, doc, tmp_path):
+        path = tmp_path / "bad.fxi"
+        path.write_text("other\n1\n")
+        with pytest.raises(FleXPathError, match="header"):
+            load_index(doc, str(path))
+
+    def test_missing_count(self, doc, tmp_path):
+        path = tmp_path / "bad.fxi"
+        path.write_text("flexpath-index 1\nxyz\n")
+        with pytest.raises(FleXPathError, match="count"):
+            load_index(doc, str(path))
+
+    def test_out_of_range_node(self, doc, tmp_path):
+        path = tmp_path / "bad.fxi"
+        path.write_text("flexpath-index 1\n1\nterm\t99999999:0\n")
+        with pytest.raises(FleXPathError, match="outside"):
+            load_index(doc, str(path))
+
+    def test_garbled_entry(self, doc, tmp_path):
+        path = tmp_path / "bad.fxi"
+        path.write_text("flexpath-index 1\n1\nterm\tnot-numbers\n")
+        with pytest.raises(FleXPathError, match="corrupt"):
+            load_index(doc, str(path))

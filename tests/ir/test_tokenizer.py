@@ -1,0 +1,40 @@
+"""Tokenization pipeline."""
+
+from repro.ir import STOP_WORDS, normalize_term, tokenize, tokenize_and_stem
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_alphanumerics_kept_together(self):
+        assert tokenize("top-k in 2004") == ["top", "k", "in", "2004"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("   ...   ") == []
+
+    def test_unicode_word_characters(self):
+        assert tokenize("naïve café") == ["naïve", "café"]
+
+
+class TestPipeline:
+    def test_stop_words_dropped(self):
+        tokens = tokenize_and_stem("the cat and the hat")
+        assert "the" not in tokens
+        assert "and" not in tokens
+        assert "cat" in tokens
+
+    def test_stemming_applied(self):
+        assert tokenize_and_stem("streaming algorithms") == ["stream", "algorithm"]
+
+    def test_normalize_term_matches_pipeline(self):
+        for word in ("Streaming", "ALGORITHMS", "queries"):
+            assert [normalize_term(word)] == tokenize_and_stem(word)
+
+    def test_normalize_stop_word_is_none(self):
+        assert normalize_term("the") is None
+        assert normalize_term("The") is None
+
+    def test_stop_words_frozen(self):
+        assert isinstance(STOP_WORDS, frozenset)

@@ -1,0 +1,53 @@
+"""Executor pool restrictions (the IR-first hook)."""
+
+import pytest
+
+from repro.ir import IREngine
+from repro.plans import STRICT, PlanExecutor, build_strict_plan
+from repro.query import parse_query
+from repro.relax import UNIFORM_WEIGHTS
+from repro.xmltree import parse
+
+
+@pytest.fixture()
+def doc():
+    return parse(
+        "<r><a><b>one</b></a><a><b>two</b></a><a><b>three</b></a></r>"
+    )
+
+
+@pytest.fixture()
+def executor(doc):
+    return PlanExecutor(doc, IREngine(doc))
+
+
+class TestRestrictions:
+    def test_restricting_root_var(self, doc, executor):
+        plan = build_strict_plan(parse_query("//a[./b]"), UNIFORM_WEIGHTS)
+        first_a = doc.nodes_with_tag("a")[0]
+        result = executor.run(
+            plan, mode=STRICT, pool_restrictions={"$1": {first_a.node_id}}
+        )
+        assert [a.node_id for a in result.answers] == [first_a.node_id]
+
+    def test_restricting_branch_var(self, doc, executor):
+        plan = build_strict_plan(parse_query("//a[./b]"), UNIFORM_WEIGHTS)
+        second_b = doc.nodes_with_tag("b")[1]
+        result = executor.run(
+            plan, mode=STRICT, pool_restrictions={"$2": {second_b.node_id}}
+        )
+        assert len(result.answers) == 1
+        assert result.answers[0].node.is_parent_of(second_b)
+
+    def test_empty_restriction_kills_everything(self, doc, executor):
+        plan = build_strict_plan(parse_query("//a[./b]"), UNIFORM_WEIGHTS)
+        result = executor.run(
+            plan, mode=STRICT, pool_restrictions={"$2": set()}
+        )
+        assert result.answers == []
+
+    def test_restrictions_do_not_leak_across_runs(self, doc, executor):
+        plan = build_strict_plan(parse_query("//a[./b]"), UNIFORM_WEIGHTS)
+        executor.run(plan, mode=STRICT, pool_restrictions={"$2": set()})
+        fresh = executor.run(plan, mode=STRICT)
+        assert len(fresh.answers) == 3

@@ -1,0 +1,120 @@
+"""The stack-based structural join primitive."""
+
+import random
+
+import pytest
+
+from repro.plans import semi_join_ancestors, semi_join_descendants, structural_join
+from repro.xmltree import parse
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse(
+        "<r>"
+        "<a><b/><a><b/><b/></a></a>"
+        "<b/>"
+        "<a><c><b/></c></a>"
+        "</r>"
+    )
+
+
+def brute_force(ancestors, descendants, axis):
+    pairs = []
+    for anc in ancestors:
+        for desc in descendants:
+            if axis == "ad" and anc.is_ancestor_of(desc):
+                pairs.append((anc, desc))
+            elif axis == "pc" and anc.is_parent_of(desc):
+                pairs.append((anc, desc))
+    pairs.sort(key=lambda pair: pair[1].start)
+    return pairs
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("axis", ["ad", "pc"])
+    def test_matches_brute_force(self, doc, axis):
+        ancestors = doc.nodes_with_tag("a")
+        descendants = doc.nodes_with_tag("b")
+        expected = brute_force(ancestors, descendants, axis)
+        got = structural_join(ancestors, descendants, axis=axis)
+        assert [(a.node_id, d.node_id) for a, d in got] == [
+            (a.node_id, d.node_id) for a, d in expected
+        ]
+
+    def test_nested_ancestors_all_reported(self, doc):
+        # The inner <a> nests inside the outer <a>; descendants of the inner
+        # must pair with both.
+        ancestors = doc.nodes_with_tag("a")
+        descendants = doc.nodes_with_tag("b")
+        pairs = structural_join(ancestors, descendants, axis="ad")
+        inner_b_ids = [d.node_id for _a, d in pairs]
+        from collections import Counter
+
+        counted = Counter(inner_b_ids)
+        assert max(counted.values()) == 2  # bs inside the nested a
+
+    def test_empty_inputs(self, doc):
+        assert structural_join([], doc.nodes_with_tag("b")) == []
+        assert structural_join(doc.nodes_with_tag("a"), []) == []
+
+    def test_output_sorted_by_descendant(self, doc):
+        pairs = structural_join(
+            doc.nodes_with_tag("a"), doc.nodes_with_tag("b"), axis="ad"
+        )
+        starts = [d.start for _a, d in pairs]
+        assert starts == sorted(starts)
+
+    def test_invalid_axis(self, doc):
+        with pytest.raises(ValueError):
+            structural_join([], [], axis="sideways")
+
+
+class TestSemiJoins:
+    def test_ancestor_semi_join(self, doc):
+        kept = semi_join_ancestors(
+            doc.nodes_with_tag("a"), doc.nodes_with_tag("c"), axis="pc"
+        )
+        assert len(kept) == 1
+
+    def test_descendant_semi_join(self, doc):
+        kept = semi_join_descendants(
+            doc.nodes_with_tag("a"), doc.nodes_with_tag("b"), axis="ad"
+        )
+        # The top-level stray <b> has no a ancestor.
+        assert len(kept) == len(doc.nodes_with_tag("b")) - 1
+
+    def test_semi_join_deduplicates(self, doc):
+        # b under nested a has two a ancestors but appears once.
+        kept = semi_join_descendants(
+            doc.nodes_with_tag("a"), doc.nodes_with_tag("b"), axis="ad"
+        )
+        ids = [n.node_id for n in kept]
+        assert len(ids) == len(set(ids))
+
+
+class TestRandomized:
+    def test_against_brute_force_random_trees(self):
+        rng = random.Random(17)
+        for trial in range(10):
+            xml = _random_tree_xml(rng, max_depth=5)
+            doc = parse(xml)
+            xs = doc.nodes_with_tag("x")
+            ys = doc.nodes_with_tag("y")
+            for axis in ("ad", "pc"):
+                expected = brute_force(xs, ys, axis)
+                got = structural_join(xs, ys, axis=axis)
+                assert [(a.node_id, d.node_id) for a, d in got] == [
+                    (a.node_id, d.node_id) for a, d in expected
+                ], (trial, axis)
+
+
+def _random_tree_xml(rng, max_depth):
+    def emit(depth):
+        tag = rng.choice(("x", "y", "z"))
+        if depth >= max_depth or rng.random() < 0.4:
+            return "<%s/>" % tag
+        children = "".join(emit(depth + 1) for _ in range(rng.randint(1, 3)))
+        return "<%s>%s</%s>" % (tag, children, tag)
+
+    return "<root>%s</root>" % "".join(emit(1) for _ in range(rng.randint(2, 4)))

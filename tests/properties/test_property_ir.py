@@ -1,0 +1,101 @@
+"""Property tests: the IR engine agrees with the reference matcher."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    And,
+    IREngine,
+    Not,
+    Or,
+    Phrase,
+    Term,
+    Window,
+    ftexpr_matches,
+    tokenize_and_stem,
+)
+
+from tests.properties.strategies import WORDS, documents
+
+
+@st.composite
+def ftexprs(draw, depth=0):
+    if depth >= 2:
+        return Term(draw(st.sampled_from(WORDS)))
+    kind = draw(st.sampled_from(("term", "and", "or", "not", "phrase", "window")))
+    if kind == "term":
+        return Term(draw(st.sampled_from(WORDS)))
+    if kind == "phrase":
+        words = draw(st.lists(st.sampled_from(WORDS), min_size=2, max_size=3))
+        return Phrase(tuple(words))
+    if kind == "window":
+        words = draw(st.lists(st.sampled_from(WORDS), min_size=2, max_size=3))
+        return Window(draw(st.integers(2, 6)), tuple(words))
+    if kind == "not":
+        return Not(draw(ftexprs(depth=depth + 1)))
+    children = tuple(
+        draw(ftexprs(depth=depth + 1))
+        for _ in range(draw(st.integers(2, 3)))
+    )
+    return And(children) if kind == "and" else Or(children)
+
+
+@given(documents(), ftexprs())
+@settings(max_examples=60, deadline=None)
+def test_engine_satisfies_agrees_with_reference(doc, expr):
+    """Index-based satisfaction == scanning the subtree text.
+
+    Exception: the engine intentionally restricts Phrase/Window to a single
+    element's direct text, while the reference matcher sees concatenated
+    subtree text; engine-true must still imply reference-true.
+    """
+    engine = IREngine(doc)
+    for node in doc.nodes():
+        reference = ftexpr_matches(expr, tokenize_and_stem(doc.full_text(node)))
+        got = engine.satisfies(node, expr)
+        if _positional_free(expr):
+            assert got == reference, (node.node_id, expr)
+
+
+def _positional_free(expr):
+    if isinstance(expr, (Phrase, Window)):
+        return False
+    children = getattr(expr, "children", None)
+    if children is not None:
+        return all(_positional_free(c) for c in children)
+    if isinstance(expr, Not):
+        return _positional_free(expr.child)
+    return True
+
+
+@given(documents(), ftexprs())
+@settings(max_examples=40, deadline=None)
+def test_scores_bounded(doc, expr):
+    engine = IREngine(doc)
+    for node in doc.nodes():
+        assert 0.0 <= engine.score(node, expr) <= 1.0
+
+
+@given(documents(), ftexprs())
+@settings(max_examples=40, deadline=None)
+def test_most_specific_are_minimal_and_satisfying(doc, expr):
+    engine = IREngine(doc)
+    matches = engine.most_specific_matches(expr)
+    ids = {m.node.node_id for m in matches}
+    for match in matches:
+        assert engine.satisfies(match.node, expr)
+        for descendant in doc.descendants(match.node):
+            assert descendant.node_id not in ids
+
+
+@given(documents())
+@settings(max_examples=40, deadline=None)
+def test_contains_monotone_up_the_tree(doc):
+    """If a node satisfies an expression without negation, so do all its
+    ancestors (the paper's third inference rule, extensionally)."""
+    engine = IREngine(doc)
+    expr = And((Term("gold"), Term("ring")))
+    for node in doc.nodes():
+        if engine.satisfies(node, expr):
+            for ancestor in doc.ancestors(node):
+                assert engine.satisfies(ancestor, expr)

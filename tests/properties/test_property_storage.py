@@ -1,0 +1,52 @@
+"""Property tests: persistence round trips on random documents."""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+
+from repro.xmltree import dump_document, load_document
+
+from tests.properties.strategies import documents
+
+
+@given(documents())
+@settings(max_examples=30, deadline=None)
+def test_document_dump_round_trips(doc):
+    handle, path = tempfile.mkstemp(suffix=".fxd")
+    os.close(handle)
+    try:
+        dump_document(doc, path)
+        loaded = load_document(path)
+        assert len(loaded) == len(doc)
+        for original, copy in zip(doc.nodes(), loaded.nodes()):
+            assert original.tag == copy.tag
+            assert original.text == copy.text
+            assert original.start == copy.start
+            assert original.end == copy.end
+            assert original.level == copy.level
+            assert original.parent_id == copy.parent_id
+    finally:
+        os.unlink(path)
+
+
+@given(documents())
+@settings(max_examples=20, deadline=None)
+def test_index_dump_round_trips(doc):
+    from repro.ir import InvertedIndex
+    from repro.ir.storage import dump_index, load_index
+
+    index = InvertedIndex(doc)
+    handle, path = tempfile.mkstemp(suffix=".fxi")
+    os.close(handle)
+    try:
+        dump_index(index, path)
+        loaded = load_index(doc, path)
+        assert loaded.vocabulary_size == index.vocabulary_size
+        for node in doc.nodes():
+            for term in ("gold", "ring", "stamp"):
+                assert loaded.subtree_term_frequency(
+                    term, node
+                ) == index.subtree_term_frequency(term, node)
+    finally:
+        os.unlink(path)

@@ -1,0 +1,79 @@
+"""Property tests: region encoding, navigation, serialization round-trip."""
+
+from hypothesis import given, settings
+
+from repro.xmltree import parse, to_xml
+
+from tests.properties.strategies import documents
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_regions_properly_nested(doc):
+    """Any two element regions either nest or are disjoint."""
+    nodes = list(doc.nodes())
+    for first in nodes:
+        for second in nodes:
+            if first.node_id >= second.node_id:
+                continue
+            nested = second.end <= first.end
+            disjoint = second.start >= first.end
+            assert nested or disjoint
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_parent_pointer_agrees_with_region_encoding(doc):
+    for node in doc.nodes():
+        parent = doc.parent(node)
+        if parent is None:
+            assert node.node_id == 0
+        else:
+            assert parent.is_parent_of(node)
+            assert node.level == parent.level + 1
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_descendant_iteration_matches_region(doc):
+    for node in doc.nodes():
+        via_region = {d.node_id for d in doc.descendants(node)}
+        via_children = set()
+        stack = list(node.child_ids)
+        while stack:
+            child_id = stack.pop()
+            via_children.add(child_id)
+            stack.extend(doc.node(child_id).child_ids)
+        assert via_region == via_children
+
+
+@given(documents())
+@settings(max_examples=60, deadline=None)
+def test_tag_index_complete_and_sorted(doc):
+    from collections import Counter
+
+    counted = Counter(node.tag for node in doc.nodes())
+    for tag, expected in counted.items():
+        tagged = doc.nodes_with_tag(tag)
+        assert len(tagged) == expected
+        starts = [n.start for n in tagged]
+        assert starts == sorted(starts)
+
+
+@given(documents())
+@settings(max_examples=40, deadline=None)
+def test_serialize_parse_round_trip(doc):
+    again = parse(to_xml(doc))
+    assert [n.tag for n in again.nodes()] == [n.tag for n in doc.nodes()]
+    assert [n.text for n in again.nodes()] == [n.text for n in doc.nodes()]
+    assert [n.level for n in again.nodes()] == [n.level for n in doc.nodes()]
+
+
+@given(documents())
+@settings(max_examples=40, deadline=None)
+def test_full_text_contains_all_descendant_text(doc):
+    for node in doc.nodes():
+        text = doc.full_text(node)
+        for descendant in doc.subtree_nodes(node):
+            if descendant.text:
+                assert descendant.text in text

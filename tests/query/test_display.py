@@ -1,0 +1,47 @@
+"""Rendering of queries: to_xpath and pretty."""
+
+from repro.query import parse_query
+
+
+class TestToXPath:
+    def test_marks_distinguished(self):
+        assert "{*}" in parse_query("//a/b").to_xpath()
+
+    def test_renders_axes(self):
+        text = parse_query("//a[./b and .//c]").to_xpath()
+        assert "./b" in text or "/b" in text
+        assert ".//c" in text or "//c" in text
+
+    def test_renders_contains(self):
+        text = parse_query('//a[.contains("gold")]').to_xpath()
+        assert 'contains("gold")' in text
+
+    def test_renders_attributes(self):
+        text = parse_query("//a[@price < 10]").to_xpath()
+        assert "@price < 10" in text
+
+    def test_wildcard_rendered_as_star(self):
+        assert "*" in parse_query("//a/*").to_xpath()
+
+
+class TestPretty:
+    def test_one_line_per_variable(self):
+        query = parse_query("//a[./b[./c] and ./d]")
+        lines = query.pretty().splitlines()
+        assert len(lines) == query.size()
+
+    def test_indentation_tracks_depth(self):
+        query = parse_query("//a/b[./c]")
+        lines = query.pretty().splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("  ")
+        assert lines[2].startswith("    ")
+
+    def test_contains_annotated(self):
+        query = parse_query('//a[./b[.contains("x")]]')
+        assert "contains" in query.pretty()
+
+    def test_variables_shown(self):
+        query = parse_query("//a/b")
+        text = query.pretty()
+        assert "($1)" in text and "($2)" in text

@@ -1,0 +1,150 @@
+"""The XPath-fragment query parser."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.ir import And, Term
+from repro.query import AD, PC, Contains, parse_query
+
+
+class TestTrunk:
+    def test_single_step(self):
+        query = parse_query("//article")
+        assert query.tag_of(query.root) == "article"
+        assert query.distinguished == query.root
+        assert query.size() == 1
+
+    def test_trunk_chain(self):
+        query = parse_query("//site/regions/item")
+        assert query.size() == 3
+        assert query.distinguished == "$3"
+        assert query.axis_of("$2") == PC
+
+    def test_leading_descendant_axis(self):
+        query = parse_query("//a//b")
+        assert query.axis_of("$2") == AD
+
+    def test_distinguished_is_last_trunk_step(self):
+        query = parse_query("//a/b[./c]")
+        assert query.distinguished == "$2"
+
+    def test_wildcard_step(self):
+        query = parse_query("//a/*[./b]")
+        assert query.tag_of("$2") is None
+
+
+class TestQualifiers:
+    def test_relative_path_qualifier(self):
+        query = parse_query("//item[./description/parlist]")
+        assert query.size() == 3
+        assert query.tag_of("$3") == "parlist"
+        assert query.parent_of("$3") == "$2"
+
+    def test_descendant_qualifier(self):
+        query = parse_query("//article[.//algorithm]")
+        assert query.axis_of("$2") == AD
+
+    def test_multiple_qualifiers(self):
+        query = parse_query("//item[./a and ./b and .//c]")
+        assert query.children_of("$1") == ("$2", "$3", "$4")
+        assert query.axis_of("$4") == AD
+
+    def test_nested_qualifiers(self):
+        query = parse_query("//a[./b[./c and ./d]]")
+        assert query.children_of("$2") == ("$3", "$4")
+
+    def test_paper_q1_shape(self):
+        query = parse_query(
+            '//article[./section[./algorithm and ./paragraph['
+            '.contains("XML" and "streaming")]]]'
+        )
+        assert query.variables == ("$1", "$2", "$3", "$4")
+        assert query.tag_of("$3") == "algorithm"
+        assert query.contains == (
+            Contains("$4", And((Term("xml"), Term("streaming")))),
+        )
+
+
+class TestContains:
+    def test_dotted_form(self):
+        query = parse_query('//a[.contains("x")]')
+        assert query.contains == (Contains("$1", Term("x")),)
+
+    def test_function_form(self):
+        query = parse_query('//a[contains(., "x" and "y")]')
+        assert query.contains[0].var == "$1"
+
+    def test_contains_on_nested_node(self):
+        query = parse_query('//a[./b[.contains("x")]]')
+        assert query.contains[0].var == "$2"
+
+    def test_multiple_contains(self):
+        query = parse_query('//a[./b[.contains("x")] and .contains("y")]')
+        variables = sorted(p.var for p in query.contains)
+        assert variables == ["$1", "$2"]
+
+
+class TestAttributes:
+    def test_attribute_comparison(self):
+        query = parse_query("//book[@price < 100]")
+        predicate = query.attr_predicates[0]
+        assert (predicate.attr, predicate.rel_op, predicate.value) == (
+            "price",
+            "<",
+            "100",
+        )
+
+    def test_string_attribute_value(self):
+        query = parse_query('//book[@lang = "en"]')
+        assert query.attr_predicates[0].value == "en"
+
+    def test_attribute_and_path(self):
+        query = parse_query("//book[@year >= 2000 and ./title]")
+        assert len(query.attr_predicates) == 1
+        assert query.size() == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "article",
+            "//",
+            "//a[",
+            "//a[./b",
+            "//a[]",
+            "//a[./b or ./c]",
+            "//a[@x ~ 1]",
+            '//a[.contains("x") extra]',
+            "//a]",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryParseError, match="trailing"):
+            parse_query("//a zzz")
+
+
+class TestVariableNumbering:
+    def test_preorder_numbering_matches_paper(self):
+        # Paper figures number $1..$4 in pre-order: article, section,
+        # algorithm, paragraph.
+        query = parse_query("//article[./section[./algorithm and ./paragraph]]")
+        assert query.tag_of("$1") == "article"
+        assert query.tag_of("$2") == "section"
+        assert query.tag_of("$3") == "algorithm"
+        assert query.tag_of("$4") == "paragraph"
+
+    def test_roundtrip_through_to_xpath(self):
+        original = parse_query("//item[./description/parlist and ./mailbox/mail]")
+        again = parse_query(
+            original.to_xpath().replace("{*}", "")
+        )
+        assert again.size() == original.size()
+        assert {again.tag_of(v) for v in again.variables} == {
+            original.tag_of(v) for v in original.variables
+        }

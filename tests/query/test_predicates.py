@@ -1,0 +1,79 @@
+"""Predicate value objects."""
+
+import pytest
+
+from repro.ir import Term
+from repro.query import Ad, AttrCompare, Contains, Pc, Tag, is_structural
+from repro.query.predicates import predicates_on
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        assert Pc("$1", "$2") == Pc("$1", "$2")
+        assert Pc("$1", "$2") != Pc("$2", "$1")
+        assert len({Ad("$1", "$2"), Ad("$1", "$2")}) == 1
+
+    def test_pc_is_not_ad(self):
+        assert Pc("$1", "$2") != Ad("$1", "$2")
+
+    def test_contains_equality_via_ftexpr(self):
+        assert Contains("$1", Term("x")) == Contains("$1", Term("x"))
+        assert Contains("$1", Term("x")) != Contains("$1", Term("y"))
+
+    def test_str_forms(self):
+        assert str(Pc("$1", "$2")) == "pc($1, $2)"
+        assert str(Tag("$1", "article")) == "$1.tag = article"
+        assert "contains($1" in str(Contains("$1", Term("x")))
+
+
+class TestVariables:
+    def test_binary_variables(self):
+        assert Pc("$1", "$2").variables() == ("$1", "$2")
+        assert Ad("$1", "$3").variables() == ("$1", "$3")
+
+    def test_unary_variables(self):
+        assert Tag("$1", "a").variables() == ("$1",)
+        assert Contains("$2", Term("x")).variables() == ("$2",)
+
+    def test_predicates_on(self):
+        preds = {Pc("$1", "$2"), Ad("$2", "$3"), Tag("$1", "a")}
+        assert predicates_on(preds, "$2") == {Pc("$1", "$2"), Ad("$2", "$3")}
+
+    def test_is_structural(self):
+        assert is_structural(Pc("$1", "$2"))
+        assert is_structural(Ad("$1", "$2"))
+        assert not is_structural(Tag("$1", "a"))
+        assert not is_structural(Contains("$1", Term("x")))
+
+
+class TestAttrCompare:
+    def test_numeric_comparison(self):
+        predicate = AttrCompare("$1", "price", "<", "100")
+        assert predicate.evaluate("99.5")
+        assert not predicate.evaluate("100")
+        assert not predicate.evaluate(None)
+
+    def test_string_comparison(self):
+        predicate = AttrCompare("$1", "name", "=", "abc")
+        assert predicate.evaluate("abc")
+        assert not predicate.evaluate("abd")
+
+    def test_mixed_falls_back_to_string(self):
+        predicate = AttrCompare("$1", "v", ">", "10")
+        assert predicate.evaluate("9") is False  # numeric: 9 < 10
+        assert predicate.evaluate("a") is True  # string: "a" > "10"
+
+    def test_all_operators(self):
+        for op, value, expected in [
+            ("=", "5", True),
+            ("!=", "5", False),
+            ("<", "6", True),
+            ("<=", "5", True),
+            (">", "4", True),
+            (">=", "5", True),
+        ]:
+            assert AttrCompare("$1", "x", op, value).evaluate("5") is expected
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            AttrCompare("$1", "x", "~", "5")

@@ -1,0 +1,164 @@
+"""The TPQ model: construction, validation, accessors, derivation."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.ir import Term
+from repro.query import AD, PC, TPQ, Ad, Contains, Pc, Tag
+
+
+def q1():
+    """Paper Q1: article/section with algorithm + paragraph[contains]."""
+    return TPQ(
+        root="$1",
+        edges={"$2": ("$1", PC), "$3": ("$2", PC), "$4": ("$2", PC)},
+        tags={"$1": "article", "$2": "section", "$3": "algorithm", "$4": "paragraph"},
+        distinguished="$1",
+        contains=[Contains("$4", Term("xml"))],
+    )
+
+
+class TestConstruction:
+    def test_variables_preorder(self):
+        assert q1().variables == ("$1", "$2", "$3", "$4")
+
+    def test_structure_accessors(self):
+        query = q1()
+        assert query.parent_of("$3") == "$2"
+        assert query.parent_of("$1") is None
+        assert query.axis_of("$2") == PC
+        assert query.children_of("$2") == ("$3", "$4")
+        assert query.tag_of("$1") == "article"
+        assert query.tag_of("$9") is None
+
+    def test_leaves(self):
+        assert q1().leaves() == ("$3", "$4")
+
+    def test_subtree_variables(self):
+        assert q1().subtree_variables("$2") == ("$2", "$3", "$4")
+
+    def test_ancestors(self):
+        assert list(q1().ancestors_of("$4")) == ["$2", "$1"]
+
+    def test_edges_iteration(self):
+        assert list(q1().edges()) == [
+            ("$1", "$2", PC),
+            ("$2", "$3", PC),
+            ("$2", "$4", PC),
+        ]
+
+    def test_size(self):
+        assert q1().size() == 4
+
+    def test_root_axis_raises(self):
+        with pytest.raises(InvalidQueryError):
+            q1().axis_of("$1")
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            TPQ("$1", {"$1": ("$2", PC), "$2": ("$1", PC)}, {}, "$1")
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(InvalidQueryError, match="unreachable"):
+            TPQ("$1", {"$3": ("$2", PC), "$2": ("$3", PC)}, {}, "$1")
+
+    def test_unknown_distinguished_rejected(self):
+        with pytest.raises(InvalidQueryError, match="distinguished"):
+            TPQ("$1", {}, {}, "$9")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(InvalidQueryError, match="axis"):
+            TPQ("$1", {"$2": ("$1", "sideways")}, {}, "$1")
+
+    def test_contains_on_unknown_var_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            TPQ("$1", {}, {}, "$1", contains=[Contains("$9", Term("x"))])
+
+    def test_tag_on_unknown_var_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            TPQ("$1", {}, {"$9": "a"}, "$1")
+
+
+class TestLogicalView:
+    def test_structural_predicates(self):
+        assert q1().structural_predicates() == {
+            Pc("$1", "$2"),
+            Pc("$2", "$3"),
+            Pc("$2", "$4"),
+        }
+
+    def test_value_predicates(self):
+        values = q1().value_predicates()
+        assert Tag("$1", "article") in values
+        assert Contains("$4", Term("xml")) in values
+
+    def test_logical_expression_of_figure2(self):
+        # Figure 2: Q1 is the conjunction of 3 pc predicates, 4 tags, and
+        # one contains predicate.
+        assert len(q1().logical_predicates()) == 8
+
+    def test_ad_edges_produce_ad_predicates(self):
+        query = TPQ("$1", {"$2": ("$1", AD)}, {}, "$1")
+        assert query.structural_predicates() == {Ad("$1", "$2")}
+
+
+class TestDerivation:
+    def test_replacing_axis(self):
+        relaxed = q1().replacing_axis("$3", AD)
+        assert relaxed.axis_of("$3") == AD
+        assert q1().axis_of("$3") == PC  # original untouched
+
+    def test_without_leaf(self):
+        smaller = q1().without_leaf("$3")
+        assert "$3" not in smaller.variables
+        assert smaller.tag_of("$3") is None
+
+    def test_without_leaf_drops_contains(self):
+        smaller = q1().without_leaf("$4")
+        assert smaller.contains == ()
+
+    def test_without_leaf_moves_distinguished(self):
+        query = TPQ("$1", {"$2": ("$1", PC)}, {}, "$2")
+        smaller = query.without_leaf("$2")
+        assert smaller.distinguished == "$1"
+
+    def test_without_nonleaf_raises(self):
+        with pytest.raises(InvalidQueryError):
+            q1().without_leaf("$2")
+
+    def test_reparenting(self):
+        promoted = q1().reparenting("$3", "$1", AD)
+        assert promoted.parent_of("$3") == "$1"
+        assert promoted.axis_of("$3") == AD
+
+    def test_reparenting_under_own_subtree_raises(self):
+        with pytest.raises(InvalidQueryError):
+            q1().reparenting("$2", "$3", AD)
+
+    def test_retargeting_contains(self):
+        query = q1()
+        moved = query.retargeting_contains(query.contains[0], "$2")
+        assert moved.contains == (Contains("$2", Term("xml")),)
+
+
+class TestIdentity:
+    def test_equality(self):
+        assert q1() == q1()
+        assert hash(q1()) == hash(q1())
+
+    def test_inequality_on_axis(self):
+        assert q1() != q1().replacing_axis("$2", AD)
+
+    def test_usable_in_sets(self):
+        assert len({q1(), q1(), q1().without_leaf("$3")}) == 2
+
+
+class TestDisplay:
+    def test_to_xpath_mentions_tags(self):
+        text = q1().to_xpath()
+        assert "article" in text and "section" in text
+
+    def test_pretty_marks_distinguished(self):
+        assert "**" in q1().pretty()

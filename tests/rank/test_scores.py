@@ -1,0 +1,51 @@
+"""Score arithmetic and the ScoredAnswer model."""
+
+import pytest
+
+from repro.rank import AnswerScore, ScoredAnswer, keyword_score, structural_score
+
+
+class TestAnswerScore:
+    def test_combined_is_sum(self):
+        assert AnswerScore(2.0, 0.5).combined() == 2.5
+
+    def test_immutability(self):
+        score = AnswerScore(1.0, 0.2)
+        with pytest.raises(AttributeError):
+            score.structural = 9.0
+
+    def test_str_format(self):
+        assert "ss=1.000" in str(AnswerScore(1.0, 0.0))
+
+
+class TestStructuralScore:
+    def test_base_minus_penalties(self):
+        assert structural_score(3.0, [0.5, 0.25]) == pytest.approx(2.25)
+
+    def test_no_drops(self):
+        assert structural_score(3.0, []) == 3.0
+
+    def test_can_go_to_zero(self):
+        assert structural_score(1.0, [1.0]) == 0.0
+
+
+class TestKeywordScore:
+    def test_unit_weights(self):
+        assert keyword_score([0.5, 0.25]) == pytest.approx(0.75)
+
+    def test_custom_weights(self):
+        assert keyword_score([0.5, 0.5], weights=[2.0, 1.0]) == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert keyword_score([]) == 0.0
+
+
+class TestScoredAnswer:
+    def test_node_id_delegates(self):
+        class FakeNode:
+            node_id = 7
+            tag = "x"
+
+        answer = ScoredAnswer(node=FakeNode(), score=AnswerScore(1.0, 0.0))
+        assert answer.node_id == 7
+        assert "node=7" in repr(answer)

@@ -1,0 +1,166 @@
+"""The §3.4 extension relaxations: type hierarchies, value weakening,
+thesaurus keyword relaxation."""
+
+import pytest
+
+from repro.errors import InvalidRelaxationError
+from repro.ir import And, Or, Term
+from repro.query import evaluate, parse_query
+from repro.relax import (
+    Thesaurus,
+    TypeHierarchy,
+    drop_keyword,
+    expand_keyword,
+    hierarchy_tag_matcher,
+    tag_generalization,
+    weaken_value_predicate,
+)
+from repro.xmltree import parse
+
+
+@pytest.fixture()
+def hierarchy():
+    return TypeHierarchy(
+        {"article": "publication", "book": "publication", "publication": "work"}
+    )
+
+
+class TestTypeHierarchy:
+    def test_supertype_chain(self, hierarchy):
+        assert hierarchy.supertype("article") == "publication"
+        assert hierarchy.ancestors("article") == ["publication", "work"]
+        assert hierarchy.supertype("work") is None
+
+    def test_subtypes(self, hierarchy):
+        assert hierarchy.subtypes_of("publication") == {
+            "publication",
+            "article",
+            "book",
+        }
+
+    def test_matches(self, hierarchy):
+        assert hierarchy.matches("publication", "article")
+        assert hierarchy.matches("work", "book")
+        assert hierarchy.matches("article", "article")
+        assert not hierarchy.matches("article", "publication")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(InvalidRelaxationError, match="cycle"):
+            TypeHierarchy({"a": "b", "b": "a"})
+
+
+class TestTagGeneralization:
+    def test_paper_example(self, hierarchy):
+        """§3.4: in Q1, replace $1.tag = article with publication."""
+        query = parse_query("//article[./section]")
+        relaxed = tag_generalization(query, "$1", hierarchy)
+        assert relaxed.tag_of("$1") == "publication"
+        assert relaxed.tag_of("$2") == "section"
+
+    def test_no_tag_raises(self, hierarchy):
+        query = parse_query("//*[./section]")
+        with pytest.raises(InvalidRelaxationError):
+            tag_generalization(query, "$1", hierarchy)
+
+    def test_no_supertype_raises(self, hierarchy):
+        query = parse_query("//section")
+        with pytest.raises(InvalidRelaxationError):
+            tag_generalization(query, "$1", hierarchy)
+
+    def test_evaluation_with_matcher_widens_answers(self, hierarchy):
+        doc = parse(
+            "<lib><article><x/></article><book><x/></book><memo><x/></memo></lib>"
+        )
+        matcher = hierarchy_tag_matcher(hierarchy)
+        strict = evaluate(parse_query("//article[./x]"), doc, tag_matcher=matcher)
+        relaxed_query = tag_generalization(
+            parse_query("//article[./x]"), "$1", hierarchy
+        )
+        relaxed = evaluate(relaxed_query, doc, tag_matcher=matcher)
+        assert len(strict) == 1
+        assert len(relaxed) == 2  # article + book, not memo
+        assert {n.node_id for n in strict} <= {n.node_id for n in relaxed}
+
+
+class TestValueWeakening:
+    def test_paper_example(self):
+        """§3.4: $i.price ≤ 98 relaxed to ≤ 100."""
+        query = parse_query("//item[@price <= 98]")
+        relaxed = weaken_value_predicate(query, query.attr_predicates[0], 100)
+        assert relaxed.attr_predicates[0].value == "100"
+
+    def test_widens_answers(self):
+        doc = parse('<r><i price="99"/><i price="50"/><i price="200"/></r>')
+        query = parse_query("//i[@price <= 98]")
+        relaxed = weaken_value_predicate(query, query.attr_predicates[0], 100)
+        assert len(evaluate(query, doc)) == 1
+        assert len(evaluate(relaxed, doc)) == 2
+
+    def test_shrinking_rejected(self):
+        query = parse_query("//item[@price <= 98]")
+        with pytest.raises(InvalidRelaxationError):
+            weaken_value_predicate(query, query.attr_predicates[0], 50)
+
+    def test_lower_bounds_decrease(self):
+        query = parse_query("//item[@year >= 2000]")
+        relaxed = weaken_value_predicate(query, query.attr_predicates[0], 1995)
+        assert relaxed.attr_predicates[0].value == "1995"
+        with pytest.raises(InvalidRelaxationError):
+            weaken_value_predicate(query, query.attr_predicates[0], 2005)
+
+    def test_equality_rejected(self):
+        query = parse_query('//item[@kind = "rare"]')
+        with pytest.raises(InvalidRelaxationError):
+            weaken_value_predicate(query, query.attr_predicates[0], "common")
+
+    def test_foreign_predicate_rejected(self):
+        query = parse_query("//item[@price <= 98]")
+        other = parse_query("//thing[@cost <= 10]")
+        with pytest.raises(InvalidRelaxationError):
+            weaken_value_predicate(query, other.attr_predicates[0], 100)
+
+
+class TestKeywordRelaxations:
+    def test_expand_keyword(self):
+        thesaurus = Thesaurus({"xml": ("sgml", "markup")})
+        query = parse_query('//a[.contains("xml" and "fast")]')
+        relaxed = expand_keyword(query, query.contains[0], "xml", thesaurus)
+        expr = relaxed.contains[0].ftexpr
+        assert isinstance(expr, And)
+        assert expr.children[0] == Or((Term("xml"), Term("sgml"), Term("markup")))
+
+    def test_expand_widens_answers(self):
+        thesaurus = Thesaurus({"xml": ("sgml",)})
+        doc = parse("<r><a>xml here</a><a>sgml there</a><a>neither</a></r>")
+        query = parse_query('//a[.contains("xml")]')
+        relaxed = expand_keyword(query, query.contains[0], "xml", thesaurus)
+        assert len(evaluate(query, doc)) == 1
+        assert len(evaluate(relaxed, doc)) == 2
+
+    def test_expand_unknown_word_raises(self):
+        thesaurus = Thesaurus({})
+        query = parse_query('//a[.contains("xml")]')
+        with pytest.raises(InvalidRelaxationError):
+            expand_keyword(query, query.contains[0], "xml", thesaurus)
+
+    def test_drop_keyword(self):
+        query = parse_query('//a[.contains("xml" and "streaming")]')
+        relaxed = drop_keyword(query, query.contains[0], "streaming")
+        assert relaxed.contains[0].ftexpr == Term("xml")
+
+    def test_drop_widens_answers(self):
+        doc = parse("<r><a>xml streaming</a><a>xml only</a></r>")
+        query = parse_query('//a[.contains("xml" and "streaming")]')
+        relaxed = drop_keyword(query, query.contains[0], "streaming")
+        assert len(evaluate(query, doc)) == 1
+        assert len(evaluate(relaxed, doc)) == 2
+
+    def test_drop_last_keyword_raises(self):
+        query = parse_query('//a[.contains("xml")]')
+        with pytest.raises(InvalidRelaxationError):
+            drop_keyword(query, query.contains[0], "xml")
+
+    def test_drop_missing_keyword_raises(self):
+        query = parse_query('//a[.contains("xml" and "fast")]')
+        with pytest.raises(InvalidRelaxationError):
+            drop_keyword(query, query.contains[0], "ghost")

@@ -1,0 +1,111 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import LIBRARY_XML
+
+
+@pytest.fixture()
+def xml_file(tmp_path):
+    path = tmp_path / "library.xml"
+    path.write_text(LIBRARY_XML)
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestQuery:
+    def test_basic(self, xml_file):
+        code, output = run(["query", xml_file, "//article", "-k", "2"])
+        assert code == 0
+        assert output.count("<article>") == 2
+        assert "Hybrid" in output
+
+    def test_algorithm_and_scheme_flags(self, xml_file):
+        code, output = run(
+            [
+                "query", xml_file, "//article", "-k", "1",
+                "--algorithm", "dpo", "--scheme", "combined",
+            ]
+        )
+        assert code == 0
+        assert "DPO" in output and "combined" in output
+
+    def test_show_text(self, xml_file):
+        code, output = run(
+            ["query", xml_file, "//article", "-k", "1", "--show-text"]
+        )
+        assert code == 0
+        assert "|" in output
+
+    def test_relaxation_cap(self, xml_file):
+        code, output = run(
+            [
+                "query", xml_file,
+                '//article[./section[./paragraph and .contains("XML")]]',
+                "-k", "9", "--max-relaxations", "0",
+            ]
+        )
+        assert code == 0
+        assert "relaxations used: 0" in output
+
+    def test_bad_query_is_an_error(self, xml_file):
+        code, _output = run(["query", xml_file, "not a query"])
+        assert code == 1
+
+    def test_missing_file_is_an_error(self):
+        code, _output = run(["query", "/nonexistent.xml", "//a"])
+        assert code == 1
+
+
+class TestOtherCommands:
+    def test_exact(self, xml_file):
+        code, output = run(["exact", xml_file, "//section"])
+        assert code == 0
+        assert "4 exact match(es)" in output
+
+    def test_explain(self, xml_file):
+        code, output = run(
+            ["explain", xml_file, "//article[./section/paragraph]"]
+        )
+        assert code == 0
+        assert "level 0" in output
+
+    def test_search(self, xml_file):
+        code, output = run(["search", xml_file, '"streaming"', "-k", "3"])
+        assert code == 0
+        assert "score=" in output
+
+    def test_stats(self, xml_file):
+        code, output = run(["stats", xml_file])
+        assert code == 0
+        assert "distinct tags" in output
+        assert "article" in output
+
+    def test_generate_to_file(self, tmp_path):
+        target = str(tmp_path / "generated.xml")
+        code, output = run(
+            ["generate", "--size-kb", "10", "--seed", "2", "-o", target]
+        )
+        assert code == 0
+        assert "wrote" in output
+        from repro.xmltree import parse_file
+
+        doc = parse_file(target)
+        assert doc.root.tag == "site"
+
+    def test_generate_to_stdout(self):
+        code, output = run(["generate", "--size-kb", "5", "--seed", "2"])
+        assert code == 0
+        assert output.startswith("<site>")
+
+    def test_no_command_exits_with_usage(self):
+        with pytest.raises(SystemExit):
+            run([])

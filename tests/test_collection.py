@@ -1,0 +1,95 @@
+"""Document collections: virtual roots and source attribution."""
+
+import pytest
+
+from repro import FleXPath
+from repro.collection import DocumentCollection
+from repro.errors import FleXPathError
+
+TEXTS = [
+    "<article><title>alpha xml</title></article>",
+    "<article><title>beta json</title></article>",
+    "<report><summary>gamma xml</summary></report>",
+]
+
+
+@pytest.fixture()
+def collection():
+    return DocumentCollection.from_texts(TEXTS, names=["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_combined_under_virtual_root(self, collection):
+        doc = collection.document
+        assert doc.root.tag == "collection"
+        assert doc.count("article") == 2
+        assert doc.count("report") == 1
+
+    def test_default_names(self):
+        collection = DocumentCollection.from_texts(TEXTS)
+        assert collection.names == ["doc0", "doc1", "doc2"]
+
+    def test_length(self, collection):
+        assert len(collection) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(FleXPathError):
+            DocumentCollection.from_texts([])
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(FleXPathError):
+            DocumentCollection.from_texts(TEXTS, names=["only-one"])
+
+    def test_from_files(self, tmp_path):
+        paths = []
+        for index, text in enumerate(TEXTS):
+            path = tmp_path / ("doc%d.xml" % index)
+            path.write_text(text)
+            paths.append(str(path))
+        collection = DocumentCollection.from_files(paths)
+        assert len(collection) == 3
+        assert collection.document.count("article") == 2
+
+    def test_texts_preserved(self, collection):
+        doc = collection.document
+        titles = [n.text for n in doc.nodes_with_tag("title")]
+        assert titles == ["alpha xml", "beta json"]
+
+    def test_attributes_preserved(self):
+        collection = DocumentCollection.from_texts(
+            ['<a id="one"><b k="v"/></a>']
+        )
+        doc = collection.document
+        assert doc.nodes_with_tag("a")[0].attributes == {"id": "one"}
+        assert doc.nodes_with_tag("b")[0].attributes == {"k": "v"}
+
+
+class TestSourceAttribution:
+    def test_source_of(self, collection):
+        doc = collection.document
+        for node in doc.nodes_with_tag("title"):
+            assert collection.source_of(node) in ("a", "b")
+        summary = doc.nodes_with_tag("summary")[0]
+        assert collection.source_of(summary) == "c"
+
+    def test_virtual_root_has_no_source(self, collection):
+        assert collection.source_of(collection.document.root) is None
+
+    def test_root_of(self, collection):
+        assert collection.root_of("c").tag == "report"
+        with pytest.raises(FleXPathError):
+            collection.root_of("missing")
+
+
+class TestQueryingCollections:
+    def test_flexpath_over_collection(self, collection):
+        engine = FleXPath(collection.document)
+        result = engine.query('//article[.contains("xml")]', k=5)
+        sources = {collection.source_of(a.node) for a in result.answers}
+        assert "a" in sources
+
+    def test_keyword_search_spans_documents(self, collection):
+        engine = FleXPath(collection.document)
+        matches = engine.keyword_search('"xml"', k=10)
+        sources = {collection.source_of(m.node) for m in matches}
+        assert sources == {"a", "c"}

@@ -1,0 +1,57 @@
+"""Documentation hygiene: the promised files exist and cross-references hold."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestRequiredDocuments:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/QUERY_LANGUAGE.md",
+            "docs/ALGORITHMS.md",
+            "docs/EXTENDING.md",
+        ],
+    )
+    def test_exists_and_nonempty(self, name):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text(encoding="utf-8")) > 500, name
+
+
+class TestCrossReferences:
+    def test_design_mentions_every_figure_bench(self):
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for number in range(9, 17):
+            assert ("bench_fig%02d" % number) in design, number
+
+    def test_every_referenced_bench_module_exists(self):
+        text = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        text += (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for stem in set(re.findall(r"bench_\w+", text)):
+            if stem == "bench_output":
+                continue  # the captured-results file, not a module
+            matches = list((ROOT / "benchmarks").glob(stem + "*.py"))
+            assert matches, stem
+
+    def test_every_referenced_example_exists(self):
+        readme = (ROOT / "README.md").read_text(encoding="utf-8")
+        for name in set(re.findall(r"examples/(\w+\.py)", readme)):
+            assert (ROOT / "examples" / name).exists(), name
+
+    def test_experiments_covers_all_eight_figures(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for number in range(9, 17):
+            assert ("Figure %d" % number) in experiments, number
+
+    def test_experiments_tests_exist(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        for path in set(re.findall(r"tests/[\w/]+\.py", experiments)):
+            assert (ROOT / path).exists(), path

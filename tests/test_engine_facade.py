@@ -1,0 +1,143 @@
+"""The FleXPath facade."""
+
+import pytest
+
+from repro import FleXPath, FleXPathError, TPQ
+from repro.rank import STRUCTURE_FIRST
+
+
+class TestConstruction:
+    def test_from_xml(self):
+        engine = FleXPath.from_xml("<r><a>word</a></r>")
+        assert engine.document.count("a") == 1
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<r><a>word</a></r>")
+        engine = FleXPath.from_file(str(path))
+        assert engine.document.count("a") == 1
+
+
+class TestQueryInterface:
+    def test_string_query(self, library_engine):
+        result = library_engine.query("//article", k=3)
+        assert len(result.answers) == 3
+
+    def test_tpq_query(self, library_engine):
+        tpq = library_engine.parse("//article")
+        result = library_engine.query(tpq, k=2)
+        assert len(result.answers) == 2
+
+    def test_scheme_by_name(self, library_engine):
+        result = library_engine.query("//article", k=2, scheme="keyword-first")
+        assert result.scheme.name == "keyword-first"
+
+    def test_all_algorithms_accessible(self, library_engine):
+        for algorithm in ("dpo", "sso", "hybrid", "DPO", "Hybrid"):
+            result = library_engine.query("//article", k=1, algorithm=algorithm)
+            assert result.answers
+
+    def test_unknown_algorithm_raises(self, library_engine):
+        with pytest.raises(FleXPathError, match="unknown algorithm"):
+            library_engine.query("//article", k=1, algorithm="quantum")
+
+    def test_unknown_scheme_raises(self, library_engine):
+        with pytest.raises(ValueError):
+            library_engine.query("//article", k=1, scheme="alphabetical")
+
+    def test_bad_query_type_raises(self, library_engine):
+        with pytest.raises(FleXPathError):
+            library_engine.query(42, k=1)
+
+    def test_max_relaxations_forwarded(self, library_engine):
+        query = (
+            '//article[.//algorithm and ./section[./paragraph'
+            ' and .contains("XML" and "streaming")]]'
+        )
+        capped = library_engine.query(query, k=50, max_relaxations=0)
+        assert capped.relaxations_used == 0
+
+
+class TestExact:
+    def test_exact_matches_strict_semantics(self, library_engine):
+        query = (
+            '//article[.//algorithm and ./section[./paragraph'
+            ' and .contains("XML" and "streaming")]]'
+        )
+        nodes = library_engine.exact(query)
+        assert len(nodes) == 2
+
+    def test_exact_returns_document_order(self, library_engine):
+        nodes = library_engine.exact("//section")
+        ids = [n.node_id for n in nodes]
+        assert ids == sorted(ids)
+
+
+class TestIntrospection:
+    def test_relaxations(self, library_engine):
+        schedule = library_engine.relaxations("//article[./section/paragraph]")
+        assert len(schedule) >= 1
+
+    def test_explain_mentions_scheme_and_levels(self, library_engine):
+        text = library_engine.explain("//article[./section/paragraph]", k=5)
+        assert "ranking scheme" in text
+        assert "level 0" in text
+
+    def test_context_exposed(self, library_engine):
+        assert library_engine.context.document is library_engine.document
+
+
+class TestKeywordSearch:
+    def test_returns_ranked_matches(self, library_engine):
+        matches = library_engine.keyword_search('"streaming" and "xml"', k=5)
+        assert matches
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_respects_k(self, library_engine):
+        assert len(library_engine.keyword_search('"xml"', k=1)) == 1
+
+    def test_no_matches(self, library_engine):
+        assert library_engine.keyword_search('"nonexistentword"') == []
+
+    def test_most_specific_semantics(self, library_engine):
+        matches = library_engine.keyword_search('"streaming"', k=50)
+        ids = {m.node.node_id for m in matches}
+        document = library_engine.document
+        for match in matches:
+            for descendant in document.descendants(match.node):
+                assert descendant.node_id not in ids
+
+
+class TestCustomWeights:
+    def test_weights_change_scores(self):
+        from repro import FleXPath, WeightAssignment
+        from tests.conftest import LIBRARY_XML
+
+        heavy = FleXPath.from_xml(
+            LIBRARY_XML, weights=WeightAssignment(default=5.0)
+        )
+        result = heavy.query(
+            '//article[./section[./paragraph and .contains("XML")]]', k=2
+        )
+        assert result.answers[0].score.structural == pytest.approx(10.0)
+
+
+class TestEndToEnd:
+    def test_flexible_beats_strict_on_library(self, library_engine):
+        query = (
+            '//article[.//algorithm and ./section[./paragraph'
+            ' and .contains("XML" and "streaming")]]'
+        )
+        strict = library_engine.exact(query)
+        result = library_engine.query(query, k=3)
+        assert len(result.answers) == 3 > len(strict)
+
+    def test_results_ranked_by_scheme(self, library_engine):
+        query = (
+            '//article[.//algorithm and ./section[./paragraph'
+            ' and .contains("XML" and "streaming")]]'
+        )
+        result = library_engine.query(query, k=3)
+        keys = [STRUCTURE_FIRST.sort_key(a.score) for a in result.answers]
+        assert keys == sorted(keys, reverse=True)

@@ -1,0 +1,119 @@
+"""Retrieval-quality metrics and the strict-vs-flexible recall gap."""
+
+import pytest
+
+from repro.quality import (
+    average_precision,
+    compare_strict_vs_flexible,
+    dcg_at_k,
+    f1_at_k,
+    mean_average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_run(self):
+        assert precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+        assert recall_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+        assert f1_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_half_right(self):
+        assert precision_at_k([1, 9], {1, 2}, 2) == 0.5
+        assert recall_at_k([1, 9], {1, 2}, 2) == 0.5
+
+    def test_k_truncates(self):
+        assert precision_at_k([9, 1, 2], {1, 2}, 1) == 0.0
+        assert recall_at_k([1, 2, 9], {1, 2}, 1) == 0.5
+
+    def test_empty_cases(self):
+        assert precision_at_k([], {1}, 3) == 0.0
+        assert recall_at_k([1], set(), 3) == 0.0
+        assert f1_at_k([], {1}, 3) == 0.0
+
+    def test_short_result_list_precision(self):
+        # Precision over what was actually returned, not over K.
+        assert precision_at_k([1], {1, 2, 3}, 10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], {1}, 0)
+        with pytest.raises(ValueError):
+            recall_at_k([1], {1}, 0)
+
+
+class TestAveragePrecision:
+    def test_all_relevant_up_front(self):
+        assert average_precision([1, 2, 9, 8], {1, 2}) == 1.0
+
+    def test_interleaved(self):
+        # hits at ranks 1 and 3: (1/1 + 2/3)/2
+        assert average_precision([1, 9, 2], {1, 2}) == pytest.approx(5 / 6)
+
+    def test_nothing_found(self):
+        assert average_precision([8, 9], {1, 2}) == 0.0
+
+    def test_map(self):
+        runs = [([1, 2], {1, 2}), ([9, 1], {1})]
+        assert mean_average_precision(runs) == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_map_empty(self):
+        assert mean_average_precision([]) == 0.0
+
+
+class TestNDCG:
+    def test_ideal_ordering_scores_one(self):
+        gains = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert ndcg_at_k([1, 2, 3], gains, 3) == pytest.approx(1.0)
+
+    def test_reversed_ordering_scores_below_one(self):
+        gains = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert ndcg_at_k([3, 2, 1], gains, 3) < 1.0
+
+    def test_dcg_discounting(self):
+        gains = {1: 1.0}
+        at_first = dcg_at_k([1], gains, 1)
+        at_second = dcg_at_k([9, 1], gains, 2)
+        assert at_first > at_second
+
+    def test_no_gains(self):
+        assert ndcg_at_k([1, 2], {}, 2) == 0.0
+
+
+class TestStrictVsFlexible:
+    """The paper's motivating claim, measured on known ground truth."""
+
+    def test_flexible_recall_dominates(self, article_engine, article_doc):
+        from repro.datasets import FIGURE1_QUERIES
+
+        # Ground truth: every article whose id is not off-topic is relevant
+        # to the XML-streaming information need.
+        relevant = {
+            node.node_id
+            for node in article_doc.nodes_with_tag("article")
+            if not node.attributes["id"].startswith("off-topic")
+        }
+        report = compare_strict_vs_flexible(
+            article_engine, FIGURE1_QUERIES["Q1"], relevant, k=len(relevant)
+        )
+        assert report["flexible"]["recall"] > report["strict"]["recall"]
+        assert report["flexible"]["recall"] >= 0.9
+        # Strict answers are all relevant but few: perfect precision,
+        # poor recall — the "penalized for providing context" effect.
+        assert report["strict"]["precision"] == 1.0
+        assert report["strict"]["recall"] <= 0.5
+
+    def test_flexible_precision_stays_high(self, article_engine, article_doc):
+        from repro.datasets import FIGURE1_QUERIES
+
+        relevant = {
+            node.node_id
+            for node in article_doc.nodes_with_tag("article")
+            if not node.attributes["id"].startswith("off-topic")
+        }
+        report = compare_strict_vs_flexible(
+            article_engine, FIGURE1_QUERIES["Q1"], relevant, k=len(relevant)
+        )
+        assert report["flexible"]["precision"] >= 0.9

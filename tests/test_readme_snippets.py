@@ -1,0 +1,33 @@
+"""The README's code snippets must actually run."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+def test_readme_has_python_blocks():
+    assert len(python_blocks()) >= 2
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_block_executes(index):
+    block = python_blocks()[index]
+    namespace = {}
+    exec(compile(block, "README.md[block %d]" % index, "exec"), namespace)
+
+
+def test_quickstart_block_produces_answers():
+    block = python_blocks()[0]
+    namespace = {}
+    exec(compile(block, "README.md[quickstart]", "exec"), namespace)
+    result = namespace["result"]
+    assert result.answers
+    assert namespace["strict"] is not None

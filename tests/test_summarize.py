@@ -1,0 +1,60 @@
+"""The benchmark-output summarizer."""
+
+import pathlib
+
+import pytest
+
+from benchmarks.summarize import main, parse
+
+SAMPLE = """
+--------------------------------- benchmark: 3 tests ---------------------------------
+Name (time in ms)           Min               Max              Mean            StdDev            Median               IQR
+test_fig09[dpo-Q1]        0.7391 (3.01)         4.9630 (2.30)         1.2734 (3.99)       0.4490 (5.79)         1.1287 (3.85)         0.2883 (4.10)
+test_fig09[sso-Q1]        0.7285 (2.96)        35.7046 (16.58)        1.0257 (3.21)       1.2419 (16.01)        0.9074 (3.09)         0.1834 (2.61)
+test_fig10[dpo-20]      452.3123 (>1000.0)    481.8377 (223.78)     463.8372 (>1000.0)   15.7920 (203.57)     457.3614 (>1000.0)     22.1440 (314.66)
+"""
+
+
+@pytest.fixture()
+def sample_file(tmp_path):
+    path = tmp_path / "bench.txt"
+    path.write_text(SAMPLE)
+    return str(path)
+
+
+class TestParse:
+    def test_groups_by_test_name(self, sample_file):
+        rows = parse(sample_file)
+        assert set(rows) == {"test_fig09", "test_fig10"}
+        assert len(rows["test_fig09"]) == 2
+
+    def test_extracts_medians(self, sample_file):
+        rows = parse(sample_file)
+        medians = dict(rows["test_fig09"])
+        assert medians["dpo-Q1"] == pytest.approx(1.1287)
+
+    def test_thousands_separators(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text(
+            "Name (time in ms)   Min   Max   Mean   StdDev   Median   IQR\n"
+            "test_x[a]      1,000.5000 (1.0)   2,000.0000 (1.0)   1,500.0000 (1.0)"
+            "   10.0000 (1.0)   1,250.2500 (1.0)   5.0000 (1.0)\n"
+        )
+        rows = parse(str(path))
+        assert dict(rows["test_x"])["a"] == pytest.approx(1250.25)
+
+
+class TestMain:
+    def test_prints_summary(self, sample_file, capsys):
+        assert main(["summarize", sample_file]) == 0
+        output = capsys.readouterr().out
+        assert "test_fig09" in output
+        assert "dpo-Q1" in output
+
+    def test_missing_rows(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("nothing here\n")
+        assert main(["summarize", str(path)]) == 1
+
+    def test_usage(self, capsys):
+        assert main(["summarize"]) == 2

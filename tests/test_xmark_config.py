@@ -1,0 +1,62 @@
+"""XMark generator configuration knobs."""
+
+import pytest
+
+from repro.xmark import XMarkConfig, XMarkGenerator
+
+
+def generate(**overrides):
+    config = XMarkConfig(target_bytes=25_000, seed=5, **overrides)
+    return XMarkGenerator(config).generate()
+
+
+class TestKnobs:
+    def test_no_inline_tags(self):
+        doc = generate(inline_probability=0.0)
+        for tag in ("bold", "keyword", "emph"):
+            assert doc.count(tag) == 0
+
+    def test_all_mails_have_text(self):
+        doc = generate(mail_text_probability=1.0)
+        for mail in doc.nodes_with_tag("mail"):
+            assert doc.children_with_tag(mail, "text"), mail
+
+    def test_no_mail_text(self):
+        doc = generate(mail_text_probability=0.0)
+        for mail in doc.nodes_with_tag("mail"):
+            assert not doc.children_with_tag(mail, "text")
+
+    def test_descriptions_all_parlists(self):
+        doc = generate(description_parlist_probability=1.0)
+        for description in doc.nodes_with_tag("description"):
+            parent = doc.parent(description)
+            if parent.tag != "item":
+                continue  # category descriptions always hold text
+            assert doc.children_with_tag(description, "parlist")
+
+    def test_no_parlists(self):
+        doc = generate(description_parlist_probability=0.0)
+        assert doc.count("parlist") == 0
+
+    def test_no_recursion_keeps_parlists_flat(self):
+        doc = generate(parlist_recursion_probability=0.0)
+        for parlist in doc.nodes_with_tag("parlist"):
+            assert all(a.tag != "parlist" for a in doc.ancestors(parlist))
+
+    def test_incategory_always_present(self):
+        doc = generate(incategory_probability=1.0)
+        for item in doc.nodes_with_tag("item"):
+            assert doc.children_with_tag(item, "incategory")
+
+    def test_marker_rate_zero_removes_markers(self):
+        from repro.xmark.words import MARKERS
+
+        doc = generate(marker_probability=0.0)
+        text = " ".join(n.text for n in doc.nodes() if n.text)
+        for marker in MARKERS:
+            assert marker not in text.split()
+
+    def test_category_and_people_counts(self):
+        doc = generate(categories=4, people=7)
+        assert doc.count("category") == 4
+        assert doc.count("person") == 7

@@ -1,0 +1,54 @@
+"""Hybrid: bucketized SSO."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.topk import Hybrid, SSO, QueryContext
+from repro.xmark import generate_document
+
+
+@pytest.fixture(scope="module")
+def context():
+    return QueryContext(generate_document(target_bytes=40_000, seed=21))
+
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+
+
+class TestBasics:
+    def test_name(self, context):
+        result = Hybrid(context).top_k(parse_query(QUERY), 5)
+        assert result.algorithm == "Hybrid"
+
+    def test_never_sorts_intermediates(self, context):
+        result = Hybrid(context).top_k(parse_query(QUERY), 50)
+        for stats in result.stats:
+            assert stats.sort_operations == 0
+
+    def test_creates_buckets(self, context):
+        result = Hybrid(context).top_k(parse_query(QUERY), 50)
+        assert any(stats.buckets_created > 0 for stats in result.stats)
+
+    def test_sso_does_sort(self, context):
+        result = SSO(context).top_k(parse_query(QUERY), 50)
+        assert any(stats.sort_operations > 0 for stats in result.stats)
+
+
+class TestAgreementWithSSO:
+    @pytest.mark.parametrize("k", [1, 5, 25, 100])
+    def test_same_answers_and_scores(self, context, k):
+        query = parse_query(QUERY)
+        sso = SSO(context).top_k(query, k)
+        hybrid = Hybrid(context).top_k(query, k)
+        assert [a.node_id for a in sso.answers] == [
+            a.node_id for a in hybrid.answers
+        ]
+        for left, right in zip(sso.answers, hybrid.answers):
+            assert left.score.structural == pytest.approx(right.score.structural)
+            assert left.score.keyword == pytest.approx(right.score.keyword)
+
+    def test_same_relaxation_level_choice(self, context):
+        query = parse_query(QUERY)
+        sso = SSO(context).top_k(query, 120)
+        hybrid = Hybrid(context).top_k(query, 120)
+        assert sso.relaxations_used == hybrid.relaxations_used

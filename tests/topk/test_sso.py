@@ -1,0 +1,91 @@
+"""SSO: selectivity-driven static relaxation choice, restarts, pruning."""
+
+import pytest
+
+from repro.query import parse_query
+from repro.rank import KEYWORD_FIRST, STRUCTURE_FIRST
+from repro.topk import SSO, QueryContext
+from repro.xmark import generate_document
+
+
+@pytest.fixture(scope="module")
+def context():
+    return QueryContext(generate_document(target_bytes=40_000, seed=21))
+
+
+@pytest.fixture(scope="module")
+def sso(context):
+    return SSO(context)
+
+
+QUERY = "//item[./description/parlist and ./mailbox/mail/text]"
+
+
+class TestBasics:
+    def test_returns_at_most_k(self, sso):
+        result = sso.top_k(parse_query(QUERY), 5)
+        assert len(result.answers) <= 5
+        assert result.algorithm == "SSO"
+
+    def test_single_plan_execution_when_estimate_good(self, sso):
+        result = sso.top_k(parse_query(QUERY), 5)
+        assert result.levels_evaluated == 1
+        assert result.restarts == 0
+
+    def test_scores_descend(self, sso):
+        result = sso.top_k(parse_query(QUERY), 40)
+        keys = [(a.score.structural, a.score.keyword) for a in result.answers]
+        assert keys == sorted(keys, reverse=True)
+
+
+class TestLevelChoice:
+    def test_small_k_needs_no_relaxation(self, context, sso):
+        query = parse_query(QUERY)
+        schedule = context.schedule(query)
+        level = sso.choose_level(schedule, 1, STRUCTURE_FIRST, 0)
+        assert level == 0
+
+    def test_large_k_encodes_relaxations(self, context, sso):
+        query = parse_query(QUERY)
+        schedule = context.schedule(query)
+        level = sso.choose_level(schedule, 10_000, STRUCTURE_FIRST, 0)
+        assert level == len(schedule)
+
+    def test_level_monotone_in_k(self, context, sso):
+        query = parse_query(QUERY)
+        schedule = context.schedule(query)
+        levels = [
+            sso.choose_level(schedule, k, STRUCTURE_FIRST, 0)
+            for k in (1, 50, 200, 1000)
+        ]
+        assert levels == sorted(levels)
+
+    def test_keyword_first_encodes_everything(self, context, sso):
+        query = parse_query(QUERY)
+        schedule = context.schedule(query)
+        assert sso.choose_level(schedule, 1, KEYWORD_FIRST, 1) == len(schedule)
+
+
+class TestRestart:
+    def test_restart_when_estimate_optimistic(self, context):
+        """Force an optimistic estimator; SSO must restart and still finish."""
+
+        class Optimist:
+            def estimate(self, query):
+                return 10_000.0  # always claims plenty of answers
+
+        sso = SSO(context)
+        context_estimator = context.estimator
+        context.estimator = Optimist()
+        try:
+            result = sso.top_k(parse_query(QUERY), 10_000)
+            # Level 0 won't have 10k answers; SSO walks forward.
+            assert result.restarts > 0
+            assert result.levels_evaluated == result.restarts + 1
+        finally:
+            context.estimator = context_estimator
+
+    def test_no_infinite_restart_when_data_exhausted(self, sso, context):
+        result = sso.top_k(parse_query(QUERY), 10_000_000)
+        schedule = context.schedule(parse_query(QUERY))
+        assert result.relaxations_used == len(schedule)

@@ -1,0 +1,100 @@
+"""TreeBuilder and element-literal construction."""
+
+import pytest
+
+from repro.errors import FleXPathError
+from repro.xmltree import TreeBuilder, build_document, element
+
+
+class TestTreeBuilder:
+    def test_basic_events(self):
+        builder = TreeBuilder()
+        builder.start("root")
+        builder.start("child")
+        builder.add_text("hello")
+        builder.end("child")
+        builder.end("root")
+        doc = builder.finish()
+        assert len(doc) == 2
+        assert doc.node(1).text == "hello"
+
+    def test_text_is_whitespace_normalized(self):
+        builder = TreeBuilder()
+        builder.start("r")
+        builder.add_text("  a \n  b\t c  ")
+        builder.end()
+        doc = builder.finish()
+        assert doc.root.text == "a b c"
+
+    def test_text_accumulates_across_calls(self):
+        builder = TreeBuilder()
+        builder.start("r")
+        builder.add_text("one")
+        builder.add_text("two")
+        builder.end()
+        assert builder.finish().root.text == "one two"
+
+    def test_mismatched_end_tag_raises(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        with pytest.raises(FleXPathError, match="mismatched"):
+            builder.end("b")
+
+    def test_end_without_start_raises(self):
+        builder = TreeBuilder()
+        with pytest.raises(FleXPathError):
+            builder.end()
+
+    def test_unclosed_element_raises_on_finish(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        with pytest.raises(FleXPathError, match="unclosed"):
+            builder.finish()
+
+    def test_empty_document_raises(self):
+        with pytest.raises(FleXPathError):
+            TreeBuilder().finish()
+
+    def test_second_root_raises(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.end()
+        with pytest.raises(FleXPathError):
+            builder.start("b")
+
+    def test_text_outside_root_raises(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.end()
+        with pytest.raises(FleXPathError):
+            builder.add_text("stray")
+
+    def test_whitespace_outside_root_is_ignored(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.end()
+        builder.add_text("   \n ")
+        assert builder.finish().root.tag == "a"
+
+    def test_attributes_are_stored(self):
+        builder = TreeBuilder()
+        builder.start("a", {"id": "x"})
+        builder.end()
+        assert builder.finish().root.attributes == {"id": "x"}
+
+
+class TestElementLiterals:
+    def test_nested_literals(self):
+        doc = build_document(
+            element("a", element("b", text="inner"), element("c"))
+        )
+        assert [n.tag for n in doc.nodes()] == ["a", "b", "c"]
+        assert doc.node(1).text == "inner"
+
+    def test_attributes_via_literal(self):
+        doc = build_document(element("a", attributes={"k": "v"}))
+        assert doc.root.attributes["k"] == "v"
+
+    def test_child_ids_in_document_order(self):
+        doc = build_document(element("a", element("b"), element("c")))
+        assert doc.root.child_ids == [1, 2]

@@ -1,0 +1,70 @@
+"""Region-encoding invariants of XMLNode."""
+
+from repro.xmltree import build_document, element
+
+
+def _doc():
+    return build_document(
+        element(
+            "a",
+            element("b", element("c"), element("d")),
+            element("e"),
+        )
+    )
+
+
+class TestRegionEncoding:
+    def test_root_covers_everything(self):
+        doc = _doc()
+        root = doc.root
+        assert root.start == 0
+        assert root.end == len(doc)
+        assert root.level == 0
+
+    def test_preorder_ids(self):
+        doc = _doc()
+        tags = [doc.node(i).tag for i in range(len(doc))]
+        assert tags == ["a", "b", "c", "d", "e"]
+
+    def test_subtree_size_from_region(self):
+        doc = _doc()
+        b = doc.nodes_with_tag("b")[0]
+        assert b.end - b.start == 3  # b, c, d
+
+    def test_levels(self):
+        doc = _doc()
+        assert doc.nodes_with_tag("b")[0].level == 1
+        assert doc.nodes_with_tag("c")[0].level == 2
+
+    def test_is_parent_of(self):
+        doc = _doc()
+        a = doc.root
+        b = doc.nodes_with_tag("b")[0]
+        c = doc.nodes_with_tag("c")[0]
+        assert a.is_parent_of(b)
+        assert b.is_parent_of(c)
+        assert not a.is_parent_of(c)
+
+    def test_is_ancestor_of(self):
+        doc = _doc()
+        a = doc.root
+        c = doc.nodes_with_tag("c")[0]
+        e = doc.nodes_with_tag("e")[0]
+        assert a.is_ancestor_of(c)
+        assert not c.is_ancestor_of(a)
+        assert not e.is_ancestor_of(c)
+
+    def test_node_not_its_own_ancestor(self):
+        doc = _doc()
+        b = doc.nodes_with_tag("b")[0]
+        assert not b.is_ancestor_of(b)
+
+    def test_siblings_disjoint_regions(self):
+        doc = _doc()
+        b = doc.nodes_with_tag("b")[0]
+        e = doc.nodes_with_tag("e")[0]
+        assert b.end <= e.start or e.end <= b.start
+
+    def test_repr_mentions_tag(self):
+        doc = _doc()
+        assert "tag='b'" in repr(doc.nodes_with_tag("b")[0])

@@ -1,0 +1,110 @@
+"""The dependency-free XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmltree import parse
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse("<a/>")
+        assert doc.root.tag == "a"
+        assert len(doc) == 1
+
+    def test_nested_elements(self):
+        doc = parse("<a><b><c/></b><d/></a>")
+        assert [n.tag for n in doc.nodes()] == ["a", "b", "c", "d"]
+
+    def test_text_content(self):
+        doc = parse("<a>hello <b>world</b> again</a>")
+        assert doc.root.text == "hello again"
+        assert doc.node(1).text == "world"
+
+    def test_attributes(self):
+        doc = parse('<a x="1" y=\'two\'/>')
+        assert doc.root.attributes == {"x": "1", "y": "two"}
+
+    def test_self_closing_with_attributes(self):
+        doc = parse('<a><b id="7"/></a>')
+        assert doc.node(1).attributes["id"] == "7"
+
+    def test_xml_declaration_and_doctype(self):
+        doc = parse('<?xml version="1.0"?><!DOCTYPE a><a/>')
+        assert doc.root.tag == "a"
+
+    def test_comments_skipped(self):
+        doc = parse("<a><!-- note --><b/><!-- other --></a>")
+        assert [n.tag for n in doc.nodes()] == ["a", "b"]
+
+    def test_processing_instruction_skipped(self):
+        doc = parse("<a><?pi data?><b/></a>")
+        assert len(doc) == 2
+
+    def test_cdata(self):
+        doc = parse("<a><![CDATA[raw <text> & stuff]]></a>")
+        assert "<text>" in doc.root.text
+
+    def test_entities(self):
+        doc = parse("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.text == "<>&'\""
+
+    def test_numeric_entities(self):
+        doc = parse("<a>&#65;&#x42;</a>")
+        assert doc.root.text == "AB"
+
+    def test_entity_in_attribute(self):
+        doc = parse('<a v="a&amp;b"/>')
+        assert doc.root.attributes["v"] == "a&b"
+
+    def test_whitespace_between_elements_dropped(self):
+        doc = parse("<a>\n  <b/>\n</a>")
+        assert doc.root.text == ""
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            '<a x=1/>',
+            "<a x='unterminated/>",
+            "<a>&unknown;</a>",
+            "<a><!-- unterminated </a>",
+            "<a><![CDATA[open</a>",
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(XMLParseError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse("<a><b></c></a>")
+        except XMLParseError as error:
+            assert error.position is not None
+        else:
+            raise AssertionError("expected XMLParseError")
+
+
+class TestRoundTrip:
+    def test_serialize_reparse(self):
+        from repro.xmltree import to_xml
+
+        doc = parse('<a k="v"><b>text one</b><c><d/>tail</c></a>')
+        again = parse(to_xml(doc))
+        assert [n.tag for n in again.nodes()] == [n.tag for n in doc.nodes()]
+        assert again.root.attributes == doc.root.attributes
+
+    def test_parse_file(self, tmp_path):
+        from repro.xmltree import parse_file
+
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b>x</b></a>")
+        doc = parse_file(str(path))
+        assert doc.node(1).text == "x"

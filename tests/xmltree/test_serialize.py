@@ -1,0 +1,66 @@
+"""XML serialization."""
+
+import pytest
+
+from repro.xmltree import build_document, element, parse, to_xml, write_xml
+
+
+class TestEscaping:
+    def test_text_special_characters(self):
+        doc = build_document(element("a", text="x < y & z > w"))
+        rendered = to_xml(doc)
+        assert "&lt;" in rendered and "&amp;" in rendered and "&gt;" in rendered
+        assert parse(rendered).root.text == "x < y & z > w"
+
+    def test_attribute_quotes(self):
+        doc = build_document(
+            element("a", attributes={"title": 'He said "hi" & left'})
+        )
+        rendered = to_xml(doc)
+        assert "&quot;" in rendered
+        assert parse(rendered).root.attributes["title"] == 'He said "hi" & left'
+
+    def test_attributes_sorted_deterministically(self):
+        doc = build_document(element("a", attributes={"z": "1", "a": "2"}))
+        rendered = to_xml(doc)
+        assert rendered.index('a="2"') < rendered.index('z="1"')
+
+
+class TestShapes:
+    def test_empty_element_self_closes(self):
+        doc = build_document(element("a", element("b")))
+        assert "<b/>" in to_xml(doc)
+
+    def test_text_only_element_inline(self):
+        doc = build_document(element("a", element("b", text="x")))
+        assert "<b>x</b>" in to_xml(doc)
+
+    def test_mixed_content_indented(self):
+        doc = build_document(
+            element("a", element("b"), text="leading")
+        )
+        rendered = to_xml(doc)
+        assert "leading" in rendered
+        assert rendered.startswith("<a>")
+
+    def test_custom_indent(self):
+        doc = build_document(element("a", element("b", element("c"))))
+        rendered = to_xml(doc, indent="    ")
+        assert "\n        <c/>" in rendered
+
+    def test_write_xml(self, tmp_path):
+        doc = build_document(element("a", element("b", text="x")))
+        path = tmp_path / "out.xml"
+        write_xml(doc, str(path))
+        assert parse(path.read_text()).node(1).text == "x"
+
+
+class TestRoundTripFidelity:
+    def test_deep_nesting(self):
+        doc = parse("<a><b><c><d><e>deep</e></d></c></b></a>")
+        again = parse(to_xml(doc))
+        assert [n.level for n in again.nodes()] == [0, 1, 2, 3, 4]
+
+    def test_unicode_text(self):
+        doc = parse("<a>héllo wörld — ünïcode</a>")
+        assert parse(to_xml(doc)).root.text == "héllo wörld — ünïcode"

@@ -1,0 +1,106 @@
+"""The compact document dump format."""
+
+import pytest
+
+from repro.errors import FleXPathError
+from repro.xmltree import dump_document, load_document, parse
+from repro.xmark import generate_document
+
+
+@pytest.fixture()
+def sample():
+    return parse(
+        '<lib note="v1">'
+        "<book><title>Tabs\tand\nnewlines \\ here</title></book>"
+        '<book lang="fr"><title>Deux</title></book>'
+        "</lib>"
+    )
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, sample, tmp_path):
+        path = str(tmp_path / "doc.fxd")
+        dump_document(sample, path)
+        loaded = load_document(path)
+        assert len(loaded) == len(sample)
+        for original, copy in zip(sample.nodes(), loaded.nodes()):
+            assert original.tag == copy.tag
+            assert original.text == copy.text
+            assert original.parent_id == copy.parent_id
+            assert original.level == copy.level
+            assert original.start == copy.start
+            assert original.end == copy.end
+            assert original.attributes == copy.attributes
+
+    def test_escaping_survives(self, sample, tmp_path):
+        path = str(tmp_path / "doc.fxd")
+        dump_document(sample, path)
+        loaded = load_document(path)
+        title = loaded.nodes_with_tag("title")[0]
+        assert "\\" in title.text
+
+    def test_tag_index_rebuilt(self, sample, tmp_path):
+        path = str(tmp_path / "doc.fxd")
+        dump_document(sample, path)
+        loaded = load_document(path)
+        assert loaded.count("book") == 2
+        starts = [n.start for n in loaded.nodes_with_tag("book")]
+        assert starts == sorted(starts)
+
+    def test_xmark_document_round_trips(self, tmp_path):
+        doc = generate_document(target_bytes=20_000, seed=8)
+        path = str(tmp_path / "auctions.fxd")
+        dump_document(doc, path)
+        loaded = load_document(path)
+        assert loaded.stats_summary() == doc.stats_summary()
+        # Region encodings must agree node for node.
+        for original, copy in zip(doc.nodes(), loaded.nodes()):
+            assert (original.start, original.end, original.level) == (
+                copy.start,
+                copy.end,
+                copy.level,
+            )
+
+    def test_queries_agree_after_reload(self, tmp_path):
+        from repro.query import evaluate, parse_query
+
+        doc = generate_document(target_bytes=20_000, seed=8)
+        path = str(tmp_path / "auctions.fxd")
+        dump_document(doc, path)
+        loaded = load_document(path)
+        query = parse_query("//item[./description/parlist]")
+        assert [n.node_id for n in evaluate(query, doc)] == [
+            n.node_id for n in evaluate(query, loaded)
+        ]
+
+
+class TestCorruptInputs:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("something else\n1\n-1\ta\t\t\n")
+        with pytest.raises(FleXPathError, match="header"):
+            load_document(str(path))
+
+    def test_missing_count(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 1\nnot-a-number\n")
+        with pytest.raises(FleXPathError, match="node count"):
+            load_document(str(path))
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 1\n3\n-1\ta\t\t\n")
+        with pytest.raises(FleXPathError, match="expected 3"):
+            load_document(str(path))
+
+    def test_forward_parent_reference(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 1\n2\n-1\ta\t\t\n5\tb\t\t\n")
+        with pytest.raises(FleXPathError, match="precedes"):
+            load_document(str(path))
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 1\n1\n-1\ta\n")
+        with pytest.raises(FleXPathError, match="corrupt"):
+            load_document(str(path))
