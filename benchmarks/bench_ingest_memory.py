@@ -1,0 +1,156 @@
+"""Ingest cost of the columnar store vs. the object-per-node model.
+
+Two claims back the storage refactor, measured on a >10k-node XMark
+document:
+
+- loading a dump fills the columns directly and is several times faster
+  than re-parsing the XML text;
+- the node table itself is at least 2x smaller than an object-per-node
+  model (``_LegacyNode`` below replicates the pre-columnar layout: one
+  slotted Python object per node plus a per-node child-id list).
+
+Run with ``pytest benchmarks/bench_ingest_memory.py`` like the other
+benchmark modules; the assertions double as a regression gate.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.xmltree import dump_document, load_document, parse, to_xml
+from repro.xmark import generate_document
+
+#: Large enough for a stable measurement, small enough for CI smoke runs.
+TARGET_BYTES = int(os.environ.get("FLEXPATH_INGEST_BYTES", 600_000))
+
+
+class _LegacyNode:
+    """The pre-columnar per-node object, reconstructed for comparison."""
+
+    __slots__ = (
+        "tag",
+        "node_id",
+        "start",
+        "end",
+        "level",
+        "parent_id",
+        "text",
+        "attributes",
+        "child_ids",
+    )
+
+    def __init__(self, node, child_ids):
+        self.tag = node.tag
+        self.node_id = node.node_id
+        self.start = node.start
+        self.end = node.end
+        self.level = node.level
+        self.parent_id = node.parent_id
+        self.text = node.text
+        self.attributes = dict(node.attributes) if node.attributes else None
+        self.child_ids = child_ids
+
+
+def _legacy_model(document):
+    """Materialize the old object-per-node table (plus its tag index)."""
+    nodes = [
+        _LegacyNode(node, [child.node_id for child in document.children(node)])
+        for node in document.nodes()
+    ]
+    tag_index = {}
+    for node in nodes:
+        tag_index.setdefault(node.tag, []).append(node.node_id)
+    return nodes, tag_index
+
+
+def _legacy_footprint(nodes, tag_index):
+    """Deep size of the legacy node table, excluding text payload strings
+    (shared with any storage model, so excluded on both sides)."""
+    total = sys.getsizeof(nodes)
+    for node in nodes:
+        total += sys.getsizeof(node)
+        total += sys.getsizeof(node.child_ids)
+        total += sys.getsizeof(node.tag)
+        if node.attributes is not None:
+            total += sys.getsizeof(node.attributes)
+            total += sum(
+                sys.getsizeof(key) + sys.getsizeof(value)
+                for key, value in node.attributes.items()
+            )
+    total += sys.getsizeof(tag_index)
+    for tag, ids in tag_index.items():
+        total += sys.getsizeof(ids)
+    return total
+
+
+@pytest.fixture(scope="module")
+def document():
+    doc = generate_document(target_bytes=TARGET_BYTES, seed=42)
+    if TARGET_BYTES >= 600_000:
+        assert len(doc) >= 10_000
+    return doc
+
+
+def test_ingest_load_dump_vs_parse(benchmark, document, tmp_path):
+    """Loading the columnar dump is at least 2x faster than re-parsing."""
+    import time
+
+    xml_path = str(tmp_path / "doc.xml")
+    dump_path = str(tmp_path / "doc.fxd")
+    with open(xml_path, "w", encoding="utf-8") as handle:
+        handle.write(to_xml(document))
+    dump_document(document, dump_path)
+
+    def best_of(fn, rounds=3):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    def reparse():
+        with open(xml_path, "r", encoding="utf-8") as handle:
+            return parse(handle.read())
+
+    parse_seconds = best_of(reparse)
+    load_seconds = best_of(lambda: load_document(dump_path))
+
+    loaded = benchmark.pedantic(
+        load_document, args=(dump_path,), rounds=3, warmup_rounds=1
+    )
+    assert len(loaded) == len(document)
+    benchmark.extra_info["nodes"] = len(loaded)
+    benchmark.extra_info["parse_seconds"] = parse_seconds
+    benchmark.extra_info["load_seconds"] = load_seconds
+    benchmark.extra_info["speedup_vs_parse"] = parse_seconds / load_seconds
+    assert load_seconds * 2 <= parse_seconds
+
+
+def test_ingest_node_table_footprint(benchmark, document):
+    """The columnar node table is at least 2x smaller than per-node objects."""
+    nodes, tag_index = _legacy_model(document)
+    legacy = _legacy_footprint(nodes, tag_index)
+    columnar = benchmark(document.store.footprint_bytes)
+    benchmark.extra_info["nodes"] = len(document)
+    benchmark.extra_info["legacy_bytes"] = legacy
+    benchmark.extra_info["columnar_bytes"] = columnar
+    benchmark.extra_info["ratio"] = legacy / columnar
+    assert columnar * 2 <= legacy
+
+
+def test_ingest_corpus_append_is_linear(benchmark, document):
+    """Appending a parsed fragment costs O(new nodes), not O(corpus)."""
+    from repro.collection import Corpus
+
+    corpus = Corpus()
+    corpus.add_document(document)  # a large existing corpus ...
+    fragment = parse("<article><title>appended</title></article>")
+
+    def run():
+        return corpus.add_document(fragment)
+
+    node = benchmark(run)
+    assert node.tag == "article"
+    benchmark.extra_info["corpus_nodes"] = len(corpus.document)

@@ -6,21 +6,24 @@ deliberately exclude (the paper likewise reports query time, not load
 time).
 """
 
+import os
+
 import pytest
 
-from benchmarks.harness import SIZES, context_for
+from benchmarks.harness import SIZES, document_for
 from repro.ir import IREngine, InvertedIndex, parse_ftexpr
 from repro.plans import structural_join
 from repro.stats import DocumentStatistics
 from repro.xmark import generate_document
-from repro.xmltree import parse, to_xml
+from repro.xmltree import dump_document, load_document, parse, to_xml
 
-SIZE = "10MB"
+#: Overridable so CI smoke runs can use a small document.
+SIZE = os.environ.get("FLEXPATH_BENCH_SIZE", "10MB")
 
 
 @pytest.fixture(scope="module")
 def document():
-    return generate_document(target_bytes=SIZES[SIZE], seed=42)
+    return document_for(SIZE, seed=42)
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +65,37 @@ def test_micro_structural_join(benchmark, document):
 
     pairs = benchmark(structural_join, items, texts, "ad")
     benchmark.extra_info["pairs"] = len(pairs)
+
+
+def test_micro_dump_v2(benchmark, document, tmp_path):
+    path = str(tmp_path / "doc.fxd")
+    benchmark.pedantic(
+        dump_document, args=(document, path), rounds=3, warmup_rounds=1
+    )
+    benchmark.extra_info["bytes"] = os.path.getsize(path)
+
+
+def test_micro_load_v2(benchmark, document, tmp_path):
+    path = str(tmp_path / "doc.fxd")
+    dump_document(document, path)
+    loaded = benchmark.pedantic(
+        load_document, args=(path,), rounds=3, warmup_rounds=1
+    )
+    benchmark.extra_info["nodes"] = len(loaded)
+    benchmark.extra_info["footprint_bytes"] = loaded.store.footprint_bytes()
+
+
+def test_micro_corpus_append(benchmark, document):
+    """The splice itself: O(new nodes) column extends, no re-parse."""
+    from repro.collection import Corpus
+
+    def run():
+        corpus = Corpus()
+        corpus.add_document(document)
+        return corpus
+
+    corpus = benchmark.pedantic(run, rounds=3, warmup_rounds=1)
+    benchmark.extra_info["nodes"] = len(corpus.document)
 
 
 def test_micro_ir_most_specific(benchmark, document):

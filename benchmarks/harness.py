@@ -43,17 +43,30 @@ QUERIES = dict(PAPER_QUERIES)
 _ALGORITHMS = {"dpo": DPO, "sso": SSO, "hybrid": Hybrid}
 
 _contexts = {}
+_documents = {}
 _queries = {}
+
+
+def document_for(size_label, seed=42):
+    """Build (once) and return the scaled document itself.
+
+    Shared by benchmarks that exercise the storage layer directly (dump,
+    load, corpus splice, footprint) without paying for index/statistics
+    construction.
+    """
+    key = (size_label, seed)
+    if key not in _documents:
+        _documents[key] = generate_document(
+            target_bytes=SIZES[size_label], seed=seed
+        )
+    return _documents[key]
 
 
 def context_for(size_label, seed=42):
     """Build (once) and return the QueryContext for a scaled document."""
     key = (size_label, seed)
     if key not in _contexts:
-        document = generate_document(
-            target_bytes=SIZES[size_label], seed=seed
-        )
-        _contexts[key] = QueryContext(document)
+        _contexts[key] = QueryContext(document_for(size_label, seed=seed))
     return _contexts[key]
 
 

@@ -17,6 +17,7 @@ Quick start::
         print(answer.node_id, answer.score)
 """
 
+from repro.collection import Corpus, DocumentCollection
 from repro.engine import FleXPath
 from repro.errors import (
     EvaluationError,
@@ -45,8 +46,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AnswerScore",
     "COMBINED",
+    "Corpus",
     "DPO",
     "Document",
+    "DocumentCollection",
     "EvaluationError",
     "FTExprParseError",
     "FleXPath",

@@ -8,6 +8,10 @@ Commands:
 - ``search FILE FTEXPR``  content-only keyword search (no structure)
 - ``generate``            emit an XMark-like document to stdout or a file
 - ``stats FILE``          document and tag statistics
+- ``dump FILE OUT``       convert a document to the columnar dump format
+
+``FILE`` may be either an XML file or a ``flexpath-doc`` dump (sniffed
+from the first line) — dumps skip the XML parser entirely on load.
 
 Examples::
 
@@ -84,6 +88,16 @@ def build_parser():
         help="show the N most frequent tags",
     )
 
+    dump = commands.add_parser(
+        "dump", help="convert a document to the columnar dump format"
+    )
+    dump.add_argument("file", help="XML document (or an existing dump)")
+    dump.add_argument("output", help="dump file to write")
+    dump.add_argument(
+        "--format-version", type=int, choices=(1, 2), default=2,
+        help="dump format version (2 = interned tag dictionary)",
+    )
+
     return parser
 
 
@@ -102,10 +116,32 @@ def main(argv=None, out=None):
         return 1
 
 
+def _is_dump(path):
+    """True if ``path`` looks like a ``flexpath-doc`` dump file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.readline().startswith("flexpath-doc ")
+    except (OSError, UnicodeDecodeError):
+        return False
+
+
+def _load_document(path):
+    """Parse an XML file, or load it directly when it is a dump."""
+    if _is_dump(path):
+        from repro.xmltree.storage import load_document
+
+        return load_document(path)
+    from repro.xmltree.parser import parse_file
+
+    return parse_file(path)
+
+
 def _dispatch(args, out):
     if args.command == "generate":
         return _cmd_generate(args, out)
-    engine = FleXPath.from_file(args.file)
+    if args.command == "dump":
+        return _cmd_dump(args, out)
+    engine = FleXPath(_load_document(args.file))
     if args.command == "query":
         return _cmd_query(engine, args, out)
     if args.command == "exact":
@@ -201,6 +237,19 @@ def _cmd_generate(args, out):
         )
     else:
         out.write(text)
+    return 0
+
+
+def _cmd_dump(args, out):
+    from repro.xmltree.storage import dump_document
+
+    document = _load_document(args.file)
+    dump_document(document, args.output, version=args.format_version)
+    print(
+        "wrote %d nodes (format v%d) to %s"
+        % (len(document), args.format_version, args.output),
+        file=out,
+    )
     return 0
 
 

@@ -1,70 +1,86 @@
-"""Document collections.
+"""Document collections with incremental ingest.
 
 The paper's data model is "a data tree (i.e., an XML document collection)"
-— a single tree whose root spans every document. This module provides the
-glue: combine several parsed fragments or files under one virtual root so
-the whole FleXPath stack (region encoding, statistics, IR engine) sees one
-tree, plus helpers to recover which source document an answer came from.
+— a single tree whose root spans every document. :class:`Corpus` is the
+first-class form of that idea: a growable collection document whose
+:meth:`Corpus.add_document` splices a parsed fragment's columns under the
+virtual root in O(new nodes) — no re-parse, no node copying — and notifies
+subscribers (the per-document caches: inverted index, statistics, query
+context) so they can extend themselves incrementally instead of rebuilding.
+
+:class:`DocumentCollection` keeps the original batch-construction API
+(``from_texts`` / ``from_files``) as a thin layer over :class:`Corpus`,
+plus the helpers to recover which source document an answer came from.
 """
 
 from __future__ import annotations
+
+import bisect
 
 from repro.errors import FleXPathError
 from repro.xmltree.builder import TreeBuilder
 from repro.xmltree.parser import parse
 
 
-class DocumentCollection:
-    """Several XML documents combined under a single virtual root."""
+class Corpus:
+    """Several XML documents combined under a single growable virtual root.
 
-    def __init__(self, document, boundaries, names):
-        self._document = document
-        self._boundaries = boundaries  # [(start, end, index)] sorted by start
-        self._names = names
+    The combined document is region-encoded like any other, so the whole
+    FleXPath stack (structural joins, statistics, IR engine) sees one tree.
+    Appends happen at the end of the node table, which keeps every id-sorted
+    structure (tag index, postings) extendable without re-sorting.
+    """
 
-    # -- constructors -------------------------------------------------------
-
-    @classmethod
-    def from_texts(cls, texts, names=None, root_tag="collection"):
-        """Combine XML strings into one collection document."""
-        if not texts:
-            raise FleXPathError("a collection needs at least one document")
-        if names is None:
-            names = ["doc%d" % index for index in range(len(texts))]
-        if len(names) != len(texts):
-            raise FleXPathError("names and texts must align")
-
+    def __init__(self, root_tag="collection"):
         builder = TreeBuilder()
         builder.start(root_tag)
-        boundaries = []
-        for index, text in enumerate(texts):
-            fragment = parse(text)
-            start_id = _copy_into(builder, fragment)
-            boundaries.append((start_id, index))
         builder.end()
-        document = builder.finish()
+        self._document = builder.finish()
+        self._starts = []  # fragment root ids, ascending
+        self._ends = []  # fragment region ends, aligned with _starts
+        self._names = []
+        self._listeners = []
 
-        spans = []
-        for (start_id, index) in boundaries:
-            node = document.node(start_id)
-            spans.append((node.start, node.end, index))
-        return cls(document, spans, list(names))
+    # -- ingest --------------------------------------------------------------
 
-    @classmethod
-    def from_files(cls, paths, root_tag="collection"):
-        """Combine XML files into one collection document."""
-        texts = []
-        for path in paths:
-            with open(path, "r", encoding="utf-8") as handle:
-                texts.append(handle.read())
-        return cls.from_texts(texts, names=[str(p) for p in paths],
-                              root_tag=root_tag)
+    def add_document(self, document, name=None):
+        """Splice a parsed document into the corpus; returns its new root node.
+
+        O(len(document)): the fragment's columns are appended to the corpus
+        store with offsets applied — existing documents are never touched,
+        re-parsed, or copied.  Subscribers are notified with the appended
+        id range so indexes and statistics can extend incrementally.
+        """
+        if name is None:
+            name = "doc%d" % len(self._names)
+        start_id = self._document.append_fragment(document, parent_id=0)
+        end_id = start_id + len(document)
+        self._starts.append(start_id)
+        self._ends.append(end_id)
+        self._names.append(name)
+        for callback in self._listeners:
+            callback(self, start_id, end_id)
+        return self._document.node(start_id)
+
+    def add_text(self, text, name=None):
+        """Parse an XML string and add it; returns its root node."""
+        return self.add_document(parse(text), name=name)
+
+    def add_file(self, path, name=None):
+        """Parse an XML file and add it; returns its root node."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        return self.add_document(parse(text), name=str(path) if name is None else name)
+
+    def subscribe(self, callback):
+        """Register ``callback(corpus, start_id, end_id)`` for appends."""
+        self._listeners.append(callback)
 
     # -- accessors ------------------------------------------------------------
 
     @property
     def document(self):
-        """The combined region-encoded document."""
+        """The combined region-encoded document (grows in place)."""
         return self._document
 
     @property
@@ -79,9 +95,9 @@ class DocumentCollection:
 
         The virtual root itself belongs to no source and returns None.
         """
-        for start, end, index in self._boundaries:
-            if start <= node.start < end:
-                return self._names[index]
+        index = bisect.bisect_right(self._starts, node.start) - 1
+        if index >= 0 and node.start < self._ends[index]:
+            return self._names[index]
         return None
 
     def root_of(self, name):
@@ -90,25 +106,30 @@ class DocumentCollection:
             index = self._names.index(name)
         except ValueError:
             raise FleXPathError("no document named %r" % name) from None
-        start, _end, _index = self._boundaries[index]
-        return self._document.node(start)
+        return self._document.node(self._starts[index])
 
 
-def _copy_into(builder, fragment):
-    """Replay a parsed fragment into an open builder; returns the new id of
-    the fragment root."""
-    root_id = None
+class DocumentCollection(Corpus):
+    """Batch-built corpus: the original collection construction API."""
 
-    def emit(node):
-        nonlocal root_id
-        new_id = builder.start(node.tag, dict(node.attributes) or None)
-        if root_id is None:
-            root_id = new_id
-        if node.text:
-            builder.add_text(node.text)
-        for child_id in node.child_ids:
-            emit(fragment.node(child_id))
-        builder.end()
+    @classmethod
+    def from_texts(cls, texts, names=None, root_tag="collection"):
+        """Combine XML strings into one collection document."""
+        if not texts:
+            raise FleXPathError("a collection needs at least one document")
+        if names is None:
+            names = ["doc%d" % index for index in range(len(texts))]
+        if len(names) != len(texts):
+            raise FleXPathError("names and texts must align")
+        corpus = cls(root_tag=root_tag)
+        for text, name in zip(texts, names):
+            corpus.add_text(text, name=name)
+        return corpus
 
-    emit(fragment.root)
-    return root_id
+    @classmethod
+    def from_files(cls, paths, root_tag="collection"):
+        """Combine XML files into one collection document."""
+        corpus = cls(root_tag=root_tag)
+        for path in paths:
+            corpus.add_file(path)
+        return corpus

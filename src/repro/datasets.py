@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 
+from repro.collection import Corpus
 from repro.xmltree.builder import TreeBuilder
 
 TOPIC_SENTENCES = (
@@ -54,16 +55,21 @@ ARCHETYPES = (
 def article_corpus(articles=25, seed=11, keywords=("XML", "streaming")):
     """Build a corpus of ``articles`` articles cycling over the archetypes.
 
+    Each article is built as a standalone document and spliced into a
+    :class:`~repro.collection.Corpus` — the incremental-ingest path — which
+    yields exactly the same pre-order node ids as building the whole
+    ``<collection>`` tree with one builder.
+
     Returns a :class:`~repro.xmltree.document.Document` rooted at
     ``<collection>``.
     """
     rng = random.Random(seed)
     keyword_text = " ".join(keywords)
-    builder = TreeBuilder()
-    builder.start("collection")
+    corpus = Corpus(root_tag="collection")
 
     for index in range(articles):
         archetype = ARCHETYPES[index % len(ARCHETYPES)]
+        builder = TreeBuilder()
         builder.start(
             "article", {"id": "%s-%d" % (archetype, index), "year": str(1998 + index % 7)}
         )
@@ -128,9 +134,11 @@ def article_corpus(articles=25, seed=11, keywords=("XML", "streaming")):
                 paragraphs=(rng.choice(OFF_TOPIC_SENTENCES),),
             )
         builder.end("article")
+        corpus.add_document(
+            builder.finish(), name="%s-%d" % (archetype, index)
+        )
 
-    builder.end("collection")
-    return builder.finish()
+    return corpus.document
 
 
 def _section(builder, title, algorithm, paragraphs):

@@ -59,11 +59,40 @@ class FleXPath:
         """Build an engine from an XML file."""
         return cls(parse_xml_file(path), weights=weights)
 
+    @classmethod
+    def from_corpus(cls, corpus, weights=UNIFORM_WEIGHTS):
+        """Build an engine over a live :class:`~repro.collection.Corpus`.
+
+        The engine stays subscribed: documents added to the corpus after
+        construction become queryable immediately, with index and
+        statistics extended over just the new nodes.
+        """
+        return cls(corpus, weights=weights)
+
+    @classmethod
+    def from_files(cls, paths, weights=UNIFORM_WEIGHTS):
+        """Build an engine over a collection parsed from XML files."""
+        from repro.collection import DocumentCollection
+
+        return cls(DocumentCollection.from_files(paths), weights=weights)
+
+    @classmethod
+    def from_dump(cls, path, weights=UNIFORM_WEIGHTS):
+        """Build an engine from a ``flexpath-doc`` dump file."""
+        from repro.xmltree.storage import load_document
+
+        return cls(load_document(path), weights=weights)
+
     # -- accessors ----------------------------------------------------------------
 
     @property
     def document(self):
         return self._context.document
+
+    @property
+    def corpus(self):
+        """The bound corpus, or None when built from a single document."""
+        return self._context.corpus
 
     @property
     def context(self):

@@ -52,6 +52,21 @@ class IREngine:
     def index(self):
         return self._index
 
+    # -- incremental corpus growth ---------------------------------------------
+
+    def extend(self, start_id, end_id=None):
+        """Fold appended nodes ``[start_id, end_id)`` into the engine.
+
+        The inverted index extends in place (appended ids keep postings
+        sorted); the per-expression caches are document-dependent, so they
+        are dropped.  ``_terms_cache`` is a pure expression transform and
+        survives.
+        """
+        self._index.extend(start_id, end_id)
+        self._local_match_cache.clear()
+        self._most_specific_cache.clear()
+        self._count_cache.clear()
+
     # -- point queries ---------------------------------------------------------
 
     def satisfies(self, node, expression):

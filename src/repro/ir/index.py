@@ -73,13 +73,29 @@ class InvertedIndex:
         self._document = document
         self._postings = {}
         self._text_elements = 0
-        self._build()
+        self._indexed_upto = 0
+        self.extend(0)
 
-    def _build(self):
-        for node in self._document.nodes():
-            if not node.text:
+    def extend(self, start_id, end_id=None):
+        """Index nodes ``[start_id, end_id)`` appended to the document.
+
+        The incremental half of corpus ingest: appended node ids exceed
+        every indexed id (fragments splice at the end of the node table),
+        so each posting's id-sorted invariant survives a plain append and
+        no existing posting entry is ever touched.
+        """
+        document = self._document
+        end_id = len(document) if end_id is None else end_id
+        if start_id < self._indexed_upto:
+            raise ValueError(
+                "cannot extend index backwards (indexed to %d, asked for %d)"
+                % (self._indexed_upto, start_id)
+            )
+        for node_id in range(start_id, end_id):
+            text = document.node(node_id).text
+            if not text:
                 continue
-            tokens = tokenize_and_stem(node.text)
+            tokens = tokenize_and_stem(text)
             if not tokens:
                 continue
             self._text_elements += 1
@@ -88,8 +104,10 @@ class InvertedIndex:
                 per_term.setdefault(token, []).append(position)
             for term, positions in per_term.items():
                 self._postings.setdefault(term, Posting()).add(
-                    node.node_id, positions
+                    node_id, positions
                 )
+        if end_id > self._indexed_upto:
+            self._indexed_upto = end_id
 
     @property
     def document(self):

@@ -48,6 +48,7 @@ def load_index(document, path):
     index._document = document
     index._postings = {}
     node_count = len(document)
+    index._indexed_upto = node_count
 
     with open(path, "r", encoding="utf-8") as handle:
         header = handle.readline().rstrip("\n")

@@ -26,22 +26,34 @@ class DocumentStatistics:
         self._tag_counts = {}
         self._pc_pairs = {}
         self._ad_pairs = {}
-        self._pc_parents = {}
-        self._ad_ancestors = {}
-        self._collect()
-
-    def _collect(self):
-        document = self._document
-        for tag in document.tags:
-            self._tag_counts[tag] = document.count(tag)
-
         # Distinct parents/ancestors with at least one (tag) child/descendant:
-        # sets of node ids per (t1, t2), sized afterwards. Wildcard (None)
-        # marginals are accumulated alongside so untagged query variables
-        # still get meaningful pair counts.
-        pc_parent_sets = {}
-        ad_ancestor_sets = {}
-        for node in document.nodes():
+        # sets of node ids per (t1, t2), kept as state so corpus appends can
+        # extend the counts incrementally. Wildcard (None) marginals are
+        # accumulated alongside so untagged query variables still get
+        # meaningful pair counts.
+        self._pc_parent_sets = {}
+        self._ad_ancestor_sets = {}
+        self._counted_upto = 0
+        self.extend(0)
+
+    def extend(self, start_id, end_id=None):
+        """Fold nodes ``[start_id, end_id)`` into the statistics.
+
+        All counts are additive over nodes (each pc/ad pair is attributed
+        to its descendant endpoint), so appending a spliced fragment only
+        walks the new nodes — their ancestor chains reach back into the old
+        tree exactly where new pairs with old ancestors arise.
+        """
+        document = self._document
+        end_id = len(document) if end_id is None else end_id
+        if start_id < self._counted_upto:
+            raise ValueError(
+                "cannot extend statistics backwards (counted to %d, asked for %d)"
+                % (self._counted_upto, start_id)
+            )
+        for node_id in range(start_id, end_id):
+            node = document.node(node_id)
+            self._tag_counts[node.tag] = self._tag_counts.get(node.tag, 0) + 1
             parent = document.parent(node)
             if parent is not None:
                 for key in (
@@ -51,7 +63,7 @@ class DocumentStatistics:
                     (None, None),
                 ):
                     self._pc_pairs[key] = self._pc_pairs.get(key, 0) + 1
-                    pc_parent_sets.setdefault(key, set()).add(parent.node_id)
+                    self._pc_parent_sets.setdefault(key, set()).add(parent.node_id)
             for ancestor in document.ancestors(node):
                 for key in (
                     (ancestor.tag, node.tag),
@@ -60,10 +72,11 @@ class DocumentStatistics:
                     (None, None),
                 ):
                     self._ad_pairs[key] = self._ad_pairs.get(key, 0) + 1
-                    ad_ancestor_sets.setdefault(key, set()).add(ancestor.node_id)
-
-        self._pc_parents = {key: len(ids) for key, ids in pc_parent_sets.items()}
-        self._ad_ancestors = {key: len(ids) for key, ids in ad_ancestor_sets.items()}
+                    self._ad_ancestor_sets.setdefault(key, set()).add(
+                        ancestor.node_id
+                    )
+        if end_id > self._counted_upto:
+            self._counted_upto = end_id
 
     @property
     def document(self):
@@ -89,12 +102,12 @@ class DocumentStatistics:
 
     def pc_parent_count(self, parent_tag, child_tag):
         """Distinct ``parent_tag`` elements with ≥1 ``child_tag`` child."""
-        return self._pc_parents.get((parent_tag, child_tag), 0)
+        return len(self._pc_parent_sets.get((parent_tag, child_tag), ()))
 
     def ad_ancestor_count(self, ancestor_tag, descendant_tag):
         """Distinct ``ancestor_tag`` elements with ≥1 ``descendant_tag``
         descendant."""
-        return self._ad_ancestors.get((ancestor_tag, descendant_tag), 0)
+        return len(self._ad_ancestor_sets.get((ancestor_tag, descendant_tag), ()))
 
     # -- fractions used by the estimator ------------------------------------
 

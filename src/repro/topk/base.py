@@ -20,10 +20,24 @@ from repro.stats.selectivity import SelectivityEstimator
 
 
 class QueryContext:
-    """Per-document evaluation context shared by all top-K algorithms."""
+    """Per-document evaluation context shared by all top-K algorithms.
+
+    Accepts either a plain :class:`~repro.xmltree.document.Document` or a
+    :class:`~repro.collection.Corpus`.  Bound to a corpus, the context
+    subscribes to appends and extends its caches incrementally: the
+    inverted index and statistics fold in only the new nodes, and the
+    relaxation-schedule cache (whose penalties depend on corpus counts) is
+    dropped.  The penalty model, estimator, and executor read the live
+    statistics/index, so they need no rebuild.
+    """
 
     def __init__(self, document, ir_engine=None, statistics=None,
                  weights=UNIFORM_WEIGHTS):
+        corpus = None
+        if hasattr(document, "add_document") and hasattr(document, "document"):
+            corpus = document
+            document = corpus.document
+        self.corpus = corpus
         self.document = document
         self.ir = ir_engine if ir_engine is not None else IREngine(document)
         self.statistics = (
@@ -34,6 +48,14 @@ class QueryContext:
         self.estimator = SelectivityEstimator(self.statistics, self.ir)
         self.executor = PlanExecutor(document, self.ir)
         self._schedules = {}
+        if corpus is not None:
+            corpus.subscribe(self._on_corpus_growth)
+
+    def _on_corpus_growth(self, corpus, start_id, end_id):
+        """Extend caches over an appended id range instead of rebuilding."""
+        self.ir.extend(start_id, end_id)
+        self.statistics.extend(start_id, end_id)
+        self._schedules.clear()
 
     def schedule(self, query, max_steps=None, skip_useless_gamma=True):
         """Return (and cache) the relaxation schedule for a query."""

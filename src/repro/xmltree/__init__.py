@@ -1,19 +1,23 @@
 """Region-encoded XML document model.
 
-The substrate every other subsystem builds on: a pre-order node store with
-``(start, end, level)`` region encoding, a tag index for structural joins,
-a small XML parser, programmatic builders, and a serializer.
+The substrate every other subsystem builds on: a columnar pre-order node
+store (:class:`ColumnarStore`) with ``(start, end, level)`` region
+encoding, flyweight node views, a tag index for structural joins, a small
+XML parser, programmatic builders, a serializer, and a two-version compact
+dump format.
 """
 
 from repro.xmltree.builder import TreeBuilder, build_document, element
-from repro.xmltree.document import Document
+from repro.xmltree.document import ColumnarStore, Document, TagDictionary
 from repro.xmltree.node import XMLNode
 from repro.xmltree.parser import parse, parse_file
 from repro.xmltree.serialize import to_xml, write_xml
 from repro.xmltree.storage import dump_document, load_document
 
 __all__ = [
+    "ColumnarStore",
     "Document",
+    "TagDictionary",
     "TreeBuilder",
     "XMLNode",
     "build_document",

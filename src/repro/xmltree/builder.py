@@ -11,13 +11,16 @@ Two styles are supported:
           element("article",
                   element("section",
                           element("paragraph", text="XML streaming"))))
+
+The builder emits directly into a :class:`ColumnarStore` — no intermediate
+node objects are created; ``start`` appends one row to each column and
+``end`` back-patches the region end.
 """
 
 from __future__ import annotations
 
 from repro.errors import FleXPathError
-from repro.xmltree.document import Document
-from repro.xmltree.node import XMLNode
+from repro.xmltree.document import ColumnarStore, Document
 
 _WHITESPACE = " \t\r\n"
 
@@ -30,8 +33,7 @@ class TreeBuilder:
     """Incremental document builder driven by start/text/end events."""
 
     def __init__(self):
-        self._nodes = []
-        self._tag_index = {}
+        self._store = ColumnarStore()
         self._stack = []
         self._finished = False
 
@@ -39,20 +41,11 @@ class TreeBuilder:
         """Open an element; returns its node id."""
         if self._finished:
             raise FleXPathError("document already has a complete root")
-        parent_id = self._stack[-1] if self._stack else -1
-        node = XMLNode(
-            node_id=len(self._nodes),
-            level=len(self._stack),
-            tag=tag,
-            parent_id=parent_id,
-            attributes=attributes,
-        )
-        self._nodes.append(node)
-        self._tag_index.setdefault(tag, []).append(node)
-        if parent_id >= 0:
-            self._nodes[parent_id].child_ids.append(node.node_id)
-        self._stack.append(node.node_id)
-        return node.node_id
+        stack = self._stack
+        parent_id = stack[-1] if stack else -1
+        node_id = self._store.append(tag, parent_id, len(stack), attributes)
+        stack.append(node_id)
+        return node_id
 
     def add_text(self, text):
         """Append text to the currently open element."""
@@ -64,32 +57,36 @@ class TreeBuilder:
         normalized = _normalize(text)
         if not normalized:
             return
-        node = self._nodes[self._stack[-1]]
-        node.text = normalized if not node.text else node.text + " " + normalized
+        node_id = self._stack[-1]
+        texts = self._store.texts
+        current = texts[node_id]
+        texts[node_id] = normalized if not current else current + " " + normalized
 
     def end(self, tag=None):
         """Close the current element, checking the tag when given."""
         if not self._stack:
             raise FleXPathError("end() with no open element")
-        node = self._nodes[self._stack.pop()]
-        if tag is not None and node.tag != tag:
-            raise FleXPathError(
-                "mismatched end tag: expected </%s>, got </%s>" % (node.tag, tag)
-            )
-        node.end = len(self._nodes)
+        node_id = self._stack.pop()
+        if tag is not None:
+            open_tag = self._store.tag_of(node_id)
+            if open_tag != tag:
+                raise FleXPathError(
+                    "mismatched end tag: expected </%s>, got </%s>" % (open_tag, tag)
+                )
+        self._store.close(node_id, len(self._store))
         if not self._stack:
             self._finished = True
-        return node.node_id
+        return node_id
 
     def finish(self):
         """Return the completed document."""
         if self._stack:
             raise FleXPathError(
-                "unclosed element <%s>" % self._nodes[self._stack[-1]].tag
+                "unclosed element <%s>" % self._store.tag_of(self._stack[-1])
             )
-        if not self._nodes:
+        if not len(self._store):
             raise FleXPathError("document is empty")
-        return Document(self._nodes, self._tag_index)
+        return Document(self._store)
 
 
 def element(tag, *children, text=None, attributes=None):
@@ -102,17 +99,26 @@ def element(tag, *children, text=None, attributes=None):
 
 
 def build_document(root):
-    """Build a document from nested :func:`element` literals."""
+    """Build a document from nested :func:`element` literals.
+
+    Iterative (explicit stack), so literal trees deeper than the Python
+    recursion limit build fine.
+    """
     builder = TreeBuilder()
 
-    def emit(literal):
+    def open_literal(literal):
         tag, attributes, text, children = literal
         builder.start(tag, attributes)
         if text:
             builder.add_text(text)
-        for child in children:
-            emit(child)
-        builder.end()
+        return iter(children)
 
-    emit(root)
+    stack = [open_literal(root)]
+    while stack:
+        child = next(stack[-1], None)
+        if child is None:
+            stack.pop()
+            builder.end()
+        else:
+            stack.append(open_literal(child))
     return builder.finish()

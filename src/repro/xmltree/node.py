@@ -16,13 +16,23 @@ O(1) to test:
 
 This is the encoding used by the stack-based structural join of
 Al-Khalifa et al. (ICDE 2002), which the FleXPath paper builds on.
+
+Since the columnar refactor an ``XMLNode`` is a *flyweight view* over one
+row of a :class:`~repro.xmltree.document.ColumnarStore`: the hot structural
+fields (``start``, ``end``, ``level``, ``tag``, ``parent_id``) are copied
+into slots at view creation so joins pay plain attribute access, while the
+cold fields (``text``, ``attributes``, ``child_ids``) read through to the
+columns on demand.  Views are created lazily and cached by the owning
+document, so object identity per node id is preserved.
 """
 
 from __future__ import annotations
 
+_EMPTY_ATTRIBUTES = {}
+
 
 class XMLNode:
-    """A single element node.
+    """A flyweight view of a single element node.
 
     Attributes:
         node_id: pre-order rank; equal to ``start``.
@@ -33,31 +43,55 @@ class XMLNode:
         text: text directly inside this element (concatenated over all its
             direct text children, whitespace-normalized).
         parent_id: node id of the parent, or ``-1`` for the root.
-        attributes: dict of XML attributes (may be empty).
+        attributes: dict of XML attributes (may be empty; treat as
+            read-only — it is backed by the store's attribute table).
+        child_ids: ids of the direct children in document order (computed
+            from the pre-order layout, not stored).
     """
 
     __slots__ = (
+        "_store",
         "node_id",
         "start",
         "end",
         "level",
         "tag",
-        "text",
         "parent_id",
-        "attributes",
-        "child_ids",
     )
 
-    def __init__(self, node_id, level, tag, parent_id, attributes=None):
+    def __init__(self, store, node_id):
+        self._store = store
         self.node_id = node_id
         self.start = node_id
-        self.end = node_id + 1
-        self.level = level
-        self.tag = tag
-        self.text = ""
-        self.parent_id = parent_id
-        self.attributes = attributes or {}
-        self.child_ids = []
+        self.end = store.ends[node_id]
+        self.level = store.levels[node_id]
+        self.tag = store.tags.name_of(store.tag_ids[node_id])
+        self.parent_id = store.parent_ids[node_id]
+
+    # -- column-backed fields ----------------------------------------------
+
+    @property
+    def text(self):
+        return self._store.texts[self.node_id]
+
+    @property
+    def attributes(self):
+        attributes = self._store.attribute_table.get(self.node_id)
+        return attributes if attributes is not None else _EMPTY_ATTRIBUTES
+
+    @property
+    def child_ids(self):
+        """Direct children's ids, derived from the region layout."""
+        ends = self._store.ends
+        result = []
+        child_id = self.node_id + 1
+        end = ends[self.node_id]
+        while child_id < end:
+            result.append(child_id)
+            child_id = ends[child_id]
+        return result
+
+    # -- structural predicates ---------------------------------------------
 
     def contains_region(self, other):
         """Return True if ``other`` lies strictly within this node's region."""

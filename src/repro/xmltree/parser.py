@@ -7,9 +7,11 @@ an optional XML declaration / doctype. It does not handle namespaces as
 anything other than literal tag text, which matches how the paper treats
 tags.
 
-The parser drives a :class:`~repro.xmltree.builder.TreeBuilder`, so the
-result is a region-encoded :class:`~repro.xmltree.document.Document` ready
-for structural joins and indexing.
+The parser drives a :class:`~repro.xmltree.builder.TreeBuilder`, so element
+events append rows straight to the document's columnar store — no
+intermediate node objects.  Element nesting is tracked with an explicit
+stack (not call recursion), so document depth is bounded by memory, not by
+Python's recursion limit.
 """
 
 from __future__ import annotations
@@ -94,54 +96,72 @@ class _Parser:
     # -- elements ----------------------------------------------------------
 
     def _parse_element(self):
-        start = self._pos
-        self._expect("<")
-        tag = self._parse_name()
-        attributes = self._parse_attributes()
-        self._skip_whitespace()
-        if self._text.startswith("/>", self._pos):
-            self._pos += 2
-            self._builder.start(tag, attributes)
-            self._builder.end(tag)
-            return
-        self._expect(">")
-        self._builder.start(tag, attributes)
-        self._parse_content(tag, start)
-        self._builder.end(tag)
+        """Parse one complete element (with all nested content).
 
-    def _parse_content(self, tag, element_start):
-        text_start = self._pos
+        Iterative: ``open_elements`` holds ``(tag, start_pos)`` for every
+        element whose end tag is still pending.
+        """
+        text = self._text
+        builder = self._builder
+        open_elements = []
         while True:
-            lt = self._text.find("<", self._pos)
-            if lt < 0:
-                raise XMLParseError("unterminated element <%s>" % tag, element_start)
-            if lt > self._pos:
-                self._builder.add_text(self._decode(self._text[self._pos:lt]))
-            self._pos = lt
-            if self._text.startswith("</", self._pos):
+            # Positioned at the "<" of a start tag.
+            element_start = self._pos
+            self._expect("<")
+            tag = self._parse_name()
+            attributes = self._parse_attributes()
+            self._skip_whitespace()
+            if text.startswith("/>", self._pos):
                 self._pos += 2
-                end_tag = self._parse_name()
-                self._skip_whitespace()
-                self._expect(">")
-                if end_tag != tag:
-                    raise XMLParseError(
-                        "mismatched end tag </%s> for <%s>" % (end_tag, tag),
-                        lt,
-                    )
-                return
-            if self._text.startswith("<!--", self._pos):
-                self._skip_until("-->")
-            elif self._text.startswith("<![CDATA[", self._pos):
-                end = self._text.find("]]>", self._pos)
-                if end < 0:
-                    raise XMLParseError("unterminated CDATA section", self._pos)
-                self._builder.add_text(self._text[self._pos + 9:end])
-                self._pos = end + 3
-            elif self._text.startswith("<?", self._pos):
-                self._skip_until("?>")
+                builder.start(tag, attributes)
+                builder.end(tag)
+                if not open_elements:
+                    return
             else:
-                self._parse_element()
-            text_start = self._pos
+                self._expect(">")
+                builder.start(tag, attributes)
+                open_elements.append((tag, element_start))
+
+            # Consume content until a nested start tag (back to the outer
+            # loop) or until every open element is closed.
+            while open_elements:
+                lt = text.find("<", self._pos)
+                if lt < 0:
+                    tag, element_start = open_elements[-1]
+                    raise XMLParseError(
+                        "unterminated element <%s>" % tag, element_start
+                    )
+                if lt > self._pos:
+                    builder.add_text(self._decode(text[self._pos:lt]))
+                self._pos = lt
+                if text.startswith("</", self._pos):
+                    self._pos += 2
+                    end_tag = self._parse_name()
+                    self._skip_whitespace()
+                    self._expect(">")
+                    tag, _start = open_elements.pop()
+                    if end_tag != tag:
+                        raise XMLParseError(
+                            "mismatched end tag </%s> for <%s>" % (end_tag, tag),
+                            lt,
+                        )
+                    builder.end(tag)
+                    if not open_elements:
+                        return
+                elif text.startswith("<!--", self._pos):
+                    self._skip_until("-->")
+                elif text.startswith("<![CDATA[", self._pos):
+                    end = text.find("]]>", self._pos)
+                    if end < 0:
+                        raise XMLParseError(
+                            "unterminated CDATA section", self._pos
+                        )
+                    builder.add_text(text[self._pos + 9:end])
+                    self._pos = end + 3
+                elif text.startswith("<?", self._pos):
+                    self._skip_until("?>")
+                else:
+                    break  # a nested element starts here
 
     def _parse_attributes(self):
         attributes = None

@@ -1,4 +1,9 @@
-"""Serialization of documents back to XML text."""
+"""Serialization of documents back to XML text.
+
+The emitter walks the tree with an explicit stack (a close "frame" is
+pushed behind the children), so documents deeper than Python's recursion
+limit serialize cleanly.
+"""
 
 from __future__ import annotations
 
@@ -20,9 +25,15 @@ def to_xml(document, indent="  "):
     use.
     """
     parts = []
-
-    def emit(node, depth):
+    # Stack entries: (node, depth, closing). A closing entry emits the end
+    # tag after every child frame pushed above it has been handled.
+    stack = [(document.root, 0, False)]
+    while stack:
+        node, depth, closing = stack.pop()
         pad = indent * depth
+        if closing:
+            parts.append("%s</%s>\n" % (pad, node.tag))
+            continue
         attrs = "".join(
             ' %s="%s"' % (name, _escape_attr(value))
             for name, value in sorted(node.attributes.items())
@@ -30,21 +41,19 @@ def to_xml(document, indent="  "):
         children = document.children(node)
         if not children and not node.text:
             parts.append("%s<%s%s/>\n" % (pad, node.tag, attrs))
-            return
+            continue
         if not children:
             parts.append(
                 "%s<%s%s>%s</%s>\n"
                 % (pad, node.tag, attrs, _escape_text(node.text), node.tag)
             )
-            return
+            continue
         parts.append("%s<%s%s>\n" % (pad, node.tag, attrs))
         if node.text:
             parts.append("%s%s\n" % (indent * (depth + 1), _escape_text(node.text)))
-        for child in children:
-            emit(child, depth + 1)
-        parts.append("%s</%s>\n" % (pad, node.tag))
-
-    emit(document.root, 0)
+        stack.append((node, depth, True))
+        for child in reversed(children):
+            stack.append((child, depth + 1, False))
     return "".join(parts)
 
 

@@ -3,28 +3,44 @@
 XML parsing is the slowest fixed cost in the pipeline; a document that will
 be queried repeatedly is better stored in a line-oriented dump of the node
 table (the region encoding is implicit in the pre-order layout, so only
-parent, tag, attributes and text need storing). Loading replays the dump
-through the tree builder and is several times faster than re-parsing XML.
+parent, tag, attributes and text need storing). Loading fills the columnar
+store directly — no per-node objects — and is several times faster than
+re-parsing XML.
 
-Format (version 1)::
+Format (version 2, the default)::
+
+    flexpath-doc 2
+    <node-count>\t<tag-count>
+    <escaped-tag-name>          } tag dictionary, one line per
+    ...                         } interned tag, in id order
+    <parent-id>\t<tag-id>\t<attr-field>\t<escaped-text>
+    ...
+
+Version 1 (still loadable, writable with ``version=1``) stores the tag
+name inline on every node line instead of interning it::
 
     flexpath-doc 1
     <node-count>
-    <parent-id>\t<tag>\t<attr-json-ish>\t<escaped-text>
+    <parent-id>\t<tag>\t<attr-field>\t<escaped-text>
     ...
 
-Text and attribute values are escaped with backslash sequences so the
-format stays line-oriented. The format is an internal convenience, not an
-interchange format — use :mod:`repro.xmltree.serialize` for XML output.
+Text and attribute values are escaped with backslash sequences (including
+``\\s`` for the ``\\x1f`` attribute-pair separator) so the format stays
+line-oriented. The format is an internal convenience, not an interchange
+format — use :mod:`repro.xmltree.serialize` for XML output.
 """
 
 from __future__ import annotations
 
-from repro.errors import FleXPathError
-from repro.xmltree.document import Document
-from repro.xmltree.node import XMLNode
+from array import array
 
-_MAGIC = "flexpath-doc 1"
+from repro.errors import FleXPathError
+from repro.xmltree.document import ColumnarStore, Document
+
+_MAGIC_V1 = "flexpath-doc 1"
+_MAGIC_V2 = "flexpath-doc 2"
+
+_ATTR_SEPARATOR = "\x1f"
 
 
 def _escape(text):
@@ -33,10 +49,13 @@ def _escape(text):
         .replace("\t", "\\t")
         .replace("\n", "\\n")
         .replace("\r", "\\r")
+        .replace(_ATTR_SEPARATOR, "\\s")
     )
 
 
 def _unescape(text):
+    if "\\" not in text:
+        return text
     parts = []
     index = 0
     length = len(text)
@@ -50,6 +69,8 @@ def _unescape(text):
                 parts.append("\n")
             elif follower == "r":
                 parts.append("\r")
+            elif follower == "s":
+                parts.append(_ATTR_SEPARATOR)
             elif follower == "\\":
                 parts.append("\\")
             else:
@@ -64,7 +85,7 @@ def _unescape(text):
 def _encode_attributes(attributes):
     if not attributes:
         return ""
-    return "\x1f".join(
+    return _ATTR_SEPARATOR.join(
         "%s=%s" % (_escape(name), _escape(value))
         for name, value in sorted(attributes.items())
     )
@@ -72,90 +93,185 @@ def _encode_attributes(attributes):
 
 def _decode_attributes(field):
     if not field:
-        return {}
+        return None
     attributes = {}
-    for pair in field.split("\x1f"):
+    for pair in field.split(_ATTR_SEPARATOR):
         name, _sep, value = pair.partition("=")
         attributes[_unescape(name)] = _unescape(value)
     return attributes
 
 
-def dump_document(document, path):
-    """Write a document to the compact node-table format."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(_MAGIC + "\n")
-        handle.write("%d\n" % len(document))
-        for node in document.nodes():
-            handle.write(
-                "%d\t%s\t%s\t%s\n"
-                % (
-                    node.parent_id,
-                    _escape(node.tag),
-                    _encode_attributes(node.attributes),
-                    _escape(node.text),
+def dump_document(document, path, version=2):
+    """Write a document to the compact node-table format.
+
+    ``version=2`` (default) writes the columnar format with an interned
+    tag dictionary; ``version=1`` writes the legacy per-line-tag format.
+    """
+    store = document.store
+    if version == 2:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(_MAGIC_V2 + "\n")
+            handle.write("%d\t%d\n" % (len(store), len(store.tags)))
+            for name in store.tags:
+                handle.write(_escape(name) + "\n")
+            attribute_table = store.attribute_table
+            texts = store.texts
+            for node_id, (parent_id, tag_id) in enumerate(
+                zip(store.parent_ids, store.tag_ids)
+            ):
+                handle.write(
+                    "%d\t%d\t%s\t%s\n"
+                    % (
+                        parent_id,
+                        tag_id,
+                        _encode_attributes(attribute_table.get(node_id)),
+                        _escape(texts[node_id]),
+                    )
                 )
-            )
+    elif version == 1:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(_MAGIC_V1 + "\n")
+            handle.write("%d\n" % len(store))
+            attribute_table = store.attribute_table
+            texts = store.texts
+            for node_id, (parent_id, tag_id) in enumerate(
+                zip(store.parent_ids, store.tag_ids)
+            ):
+                handle.write(
+                    "%d\t%s\t%s\t%s\n"
+                    % (
+                        parent_id,
+                        _escape(store.tags.name_of(tag_id)),
+                        _encode_attributes(attribute_table.get(node_id)),
+                        _escape(texts[node_id]),
+                    )
+                )
+    else:
+        raise FleXPathError("unknown dump version %r" % (version,))
 
 
 def load_document(path):
-    """Load a document previously written by :func:`dump_document`."""
+    """Load a document previously written by :func:`dump_document`.
+
+    Both format versions are accepted; the version is dispatched on the
+    header line.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         header = handle.readline().rstrip("\n")
-        if header != _MAGIC:
+        if header == _MAGIC_V2:
+            return _load_v2(handle)
+        if header == _MAGIC_V1:
+            return _load_v1(handle)
+        raise FleXPathError(
+            "not a flexpath document dump (bad header %r)" % header
+        )
+
+
+def _finish_store(store, count):
+    """Compute region ends from the pre-order parent layout and wrap up."""
+    if not count:
+        raise FleXPathError("corrupt dump: empty document")
+    ends = store.ends
+    parent_ids = store.parent_ids
+    for node_id in range(count - 1, -1, -1):
+        parent_id = parent_ids[node_id]
+        if parent_id >= 0 and ends[node_id] > ends[parent_id]:
+            ends[parent_id] = ends[node_id]
+    return Document(store)
+
+
+def _append_row(store, node_id, parent_id, tag_id, attributes, text):
+    """Append one loaded row straight onto the columns."""
+    if parent_id < 0:
+        level = 0
+    else:
+        if parent_id >= node_id:
             raise FleXPathError(
-                "not a flexpath document dump (bad header %r)" % header
+                "corrupt dump: node %d precedes its parent" % node_id
             )
+        level = store.levels[parent_id] + 1
+    store.tag_ids.append(tag_id)
+    store.parent_ids.append(parent_id)
+    store.levels.append(level)
+    store.ends.append(node_id + 1)
+    store.texts.append(text)
+    if attributes:
+        store.attribute_table[node_id] = attributes
+    ids = store.tag_node_ids.get(tag_id)
+    if ids is None:
+        ids = store.tag_node_ids[tag_id] = array("i")
+    ids.append(node_id)
+
+
+def _load_v2(handle):
+    counts = handle.readline().rstrip("\n").split("\t")
+    try:
+        count, tag_count = int(counts[0]), int(counts[1])
+    except (ValueError, IndexError):
+        raise FleXPathError("corrupt dump: missing node count") from None
+
+    store = ColumnarStore()
+    for index in range(tag_count):
+        line = handle.readline()
+        if not line:
+            raise FleXPathError(
+                "corrupt dump: expected %d tags, found %d" % (tag_count, index)
+            )
+        store.tags.intern(_unescape(line.rstrip("\n")))
+
+    for node_id in range(count):
+        line = handle.readline()
+        if not line:
+            raise FleXPathError(
+                "corrupt dump: expected %d nodes, found %d" % (count, node_id)
+            )
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) != 4:
+            raise FleXPathError("corrupt dump at node %d" % node_id)
         try:
-            count = int(handle.readline())
-        except ValueError:
-            raise FleXPathError("corrupt dump: missing node count") from None
-
-        nodes = []
-        tag_index = {}
-        levels = {}
-        for node_id in range(count):
-            line = handle.readline()
-            if not line:
-                raise FleXPathError(
-                    "corrupt dump: expected %d nodes, found %d" % (count, node_id)
-                )
-            fields = line.rstrip("\n").split("\t")
-            if len(fields) != 4:
-                raise FleXPathError("corrupt dump at node %d" % node_id)
             parent_id = int(fields[0])
-            tag = _unescape(fields[1])
-            if parent_id < 0:
-                level = 0
-            else:
-                if parent_id >= node_id:
-                    raise FleXPathError(
-                        "corrupt dump: node %d precedes its parent" % node_id
-                    )
-                level = levels[parent_id] + 1
-            levels[node_id] = level
-            node = XMLNode(
-                node_id=node_id,
-                level=level,
-                tag=tag,
-                parent_id=parent_id,
-                attributes=_decode_attributes(fields[2]) or None,
+            tag_id = int(fields[1])
+        except ValueError:
+            raise FleXPathError("corrupt dump at node %d" % node_id) from None
+        if not 0 <= tag_id < tag_count:
+            raise FleXPathError(
+                "corrupt dump: node %d has unknown tag id %d" % (node_id, tag_id)
             )
-            node.text = _unescape(fields[3])
-            nodes.append(node)
-            tag_index.setdefault(tag, []).append(node)
-            if parent_id >= 0:
-                nodes[parent_id].child_ids.append(node_id)
+        _append_row(
+            store,
+            node_id,
+            parent_id,
+            tag_id,
+            _decode_attributes(fields[2]),
+            _unescape(fields[3]),
+        )
+    return _finish_store(store, count)
 
-        if not nodes:
-            raise FleXPathError("corrupt dump: empty document")
 
-        # Recompute region ends from the pre-order parent layout.
-        for node in nodes:
-            node.end = node.node_id + 1
-        for node in reversed(nodes):
-            if node.parent_id >= 0:
-                parent = nodes[node.parent_id]
-                if node.end > parent.end:
-                    parent.end = node.end
+def _load_v1(handle):
+    try:
+        count = int(handle.readline())
+    except ValueError:
+        raise FleXPathError("corrupt dump: missing node count") from None
 
-        return Document(nodes, tag_index)
+    store = ColumnarStore()
+    for node_id in range(count):
+        line = handle.readline()
+        if not line:
+            raise FleXPathError(
+                "corrupt dump: expected %d nodes, found %d" % (count, node_id)
+            )
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) != 4:
+            raise FleXPathError("corrupt dump at node %d" % node_id)
+        parent_id = int(fields[0])
+        tag_id = store.tags.intern(_unescape(fields[1]))
+        _append_row(
+            store,
+            node_id,
+            parent_id,
+            tag_id,
+            _decode_attributes(fields[2]),
+            _unescape(fields[3]),
+        )
+    return _finish_store(store, count)

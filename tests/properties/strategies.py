@@ -38,6 +38,44 @@ def documents(draw, max_children=3, max_depth=4):
     return builder.finish()
 
 
+#: Characters that historically broke the dump escaping: the attribute
+#: separator, the escape character itself, whitespace that must stay
+#: line-oriented, and non-ASCII text.
+EXOTIC_CHARACTERS = "\x1f\\\t\n\r=ü∑✓ gold"
+
+exotic_text = st.text(alphabet=EXOTIC_CHARACTERS, min_size=0, max_size=12)
+
+
+@st.composite
+def exotic_documents(draw, max_children=3, max_depth=3):
+    """A random document whose texts and attributes use hostile characters."""
+    builder = TreeBuilder()
+
+    def attributes():
+        return draw(
+            st.dictionaries(
+                st.sampled_from(("k1", "k2", "köy")),
+                exotic_text,
+                max_size=2,
+            )
+        )
+
+    def emit(depth):
+        builder.start(draw(st.sampled_from(TAGS)), attributes() or None)
+        if draw(st.booleans()):
+            builder.add_text(draw(exotic_text))
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, max_children))):
+                emit(depth + 1)
+        builder.end()
+
+    builder.start("root", attributes() or None)
+    for _ in range(draw(st.integers(1, max_children))):
+        emit(1)
+    builder.end()
+    return builder.finish()
+
+
 @st.composite
 def tree_patterns(draw, max_vars=5, with_contains=True):
     """A random TPQ over the same alphabet (root tag fixed to 'root' or a)."""

@@ -4,10 +4,24 @@ import os
 import tempfile
 
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.xmltree import dump_document, load_document
+from repro.xmltree import dump_document, load_document, parse
+from repro.xmltree.serialize import to_xml
 
-from tests.properties.strategies import documents
+from tests.properties.strategies import documents, exotic_documents
+
+
+def _assert_same_nodes(first, second):
+    assert len(first) == len(second)
+    for original, copy in zip(first.nodes(), second.nodes()):
+        assert original.tag == copy.tag
+        assert original.text == copy.text
+        assert original.start == copy.start
+        assert original.end == copy.end
+        assert original.level == copy.level
+        assert original.parent_id == copy.parent_id
+        assert original.attributes == copy.attributes
 
 
 @given(documents())
@@ -28,6 +42,71 @@ def test_document_dump_round_trips(doc):
             assert original.parent_id == copy.parent_id
     finally:
         os.unlink(path)
+
+
+@given(exotic_documents(), st.sampled_from((1, 2)))
+@settings(max_examples=40, deadline=None)
+def test_exotic_characters_survive_dumps(doc, version):
+    """Control characters (incl. the \\x1f attribute separator), tabs,
+    newlines, backslashes, and unicode round-trip through both formats."""
+    handle, path = tempfile.mkstemp(suffix=".fxd")
+    os.close(handle)
+    try:
+        dump_document(doc, path, version=version)
+        _assert_same_nodes(doc, load_document(path))
+    finally:
+        os.unlink(path)
+
+
+@given(exotic_documents())
+@settings(max_examples=30, deadline=None)
+def test_dump_v2_is_byte_stable(doc):
+    """dump → load → dump reproduces the file byte for byte."""
+    paths = []
+    for _ in range(2):
+        handle, path = tempfile.mkstemp(suffix=".fxd")
+        os.close(handle)
+        paths.append(path)
+    try:
+        dump_document(doc, paths[0])
+        dump_document(load_document(paths[0]), paths[1])
+        with open(paths[0], "rb") as first, open(paths[1], "rb") as second:
+            assert first.read() == second.read()
+    finally:
+        for path in paths:
+            os.unlink(path)
+
+
+@given(documents())
+@settings(max_examples=30, deadline=None)
+def test_serialize_parse_round_trips(doc):
+    _assert_same_nodes(doc, parse(to_xml(doc)))
+
+
+@given(st.lists(documents(), min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_corpus_splice_matches_batch_construction(docs):
+    """Adding parsed documents one by one builds the same node table as
+    the batch ``from_texts`` path, and each spliced fragment matches its
+    source shifted by the splice offset."""
+    from repro.collection import Corpus, DocumentCollection
+
+    corpus = Corpus()
+    starts = [corpus.add_document(doc).node_id for doc in docs]
+    batch = DocumentCollection.from_texts([to_xml(doc) for doc in docs])
+    _assert_same_nodes(corpus.document, batch.document)
+    for doc, start in zip(docs, starts):
+        combined = corpus.document
+        for offset, original in enumerate(doc.nodes()):
+            copy = combined.node(start + offset)
+            assert copy.tag == original.tag
+            assert copy.text == original.text
+            assert copy.level == original.level + 1
+            assert copy.end - start == original.end
+            expected_parent = (
+                original.parent_id + start if original.parent_id >= 0 else 0
+            )
+            assert copy.parent_id == expected_parent
 
 
 @given(documents())

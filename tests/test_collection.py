@@ -1,10 +1,11 @@
-"""Document collections: virtual roots and source attribution."""
+"""Document collections: virtual roots, incremental ingest, attribution."""
 
 import pytest
 
 from repro import FleXPath
-from repro.collection import DocumentCollection
+from repro.collection import Corpus, DocumentCollection
 from repro.errors import FleXPathError
+from repro.xmltree import parse
 
 TEXTS = [
     "<article><title>alpha xml</title></article>",
@@ -79,6 +80,129 @@ class TestSourceAttribution:
         assert collection.root_of("c").tag == "report"
         with pytest.raises(FleXPathError):
             collection.root_of("missing")
+
+
+class TestIncrementalIngest:
+    def test_add_document_splices_without_reparse(self):
+        corpus = Corpus()
+        fragment = parse("<article><title>alpha</title></article>")
+        node = corpus.add_document(fragment, name="a")
+        assert node.tag == "article"
+        assert corpus.document.count("article") == 1
+        # The original fragment is untouched.
+        assert fragment.root.node_id == 0
+        assert len(fragment) == 2
+
+    def test_incremental_matches_batch(self):
+        batch = DocumentCollection.from_texts(TEXTS, names=["a", "b", "c"])
+        corpus = Corpus()
+        for name, text in zip(["a", "b", "c"], TEXTS):
+            corpus.add_document(parse(text), name=name)
+        assert (
+            corpus.document.stats_summary()
+            == batch.document.stats_summary()
+        )
+        for original, copy in zip(
+            batch.document.nodes(), corpus.document.nodes()
+        ):
+            assert original.tag == copy.tag
+            assert original.text == copy.text
+            assert (original.start, original.end, original.level) == (
+                copy.start,
+                copy.end,
+                copy.level,
+            )
+        assert corpus.names == batch.names
+
+    def test_subscribers_see_contiguous_ranges(self):
+        corpus = Corpus()
+        ranges = []
+        corpus.subscribe(lambda c, start, end: ranges.append((start, end)))
+        corpus.add_text(TEXTS[0])
+        corpus.add_text(TEXTS[1])
+        assert ranges[0][0] == 1  # first append starts after the root
+        assert ranges[0][1] == ranges[1][0]
+        assert ranges[-1][1] == len(corpus.document)
+
+    def test_engine_sees_documents_added_after_construction(self):
+        corpus = DocumentCollection.from_texts(TEXTS, names=["a", "b", "c"])
+        engine = FleXPath.from_corpus(corpus)
+        assert engine.keyword_search('"delta"') == []
+        corpus.add_text(
+            "<article><title>delta xml</title></article>", name="d"
+        )
+        matches = engine.keyword_search('"delta"', k=5)
+        assert matches
+        assert corpus.source_of(matches[0].node) == "d"
+        result = engine.query('//article[.contains("delta")]', k=5)
+        assert "d" in {corpus.source_of(a.node) for a in result.answers}
+
+    def test_extended_index_matches_rebuild(self):
+        from repro.ir import InvertedIndex
+
+        corpus = Corpus()
+        engine = FleXPath.from_corpus(corpus)
+        for text in TEXTS:
+            corpus.add_text(text)
+        fresh = InvertedIndex(corpus.document)
+        live = engine.context.ir.index
+        assert live.vocabulary_size == fresh.vocabulary_size
+        assert live.text_element_count == fresh.text_element_count
+        for term in ("alpha", "beta", "gamma", "xml", "json"):
+            assert live.direct_nodes_with_term(
+                term
+            ) == fresh.direct_nodes_with_term(term)
+
+    def test_extended_statistics_match_rebuild(self):
+        from repro.stats.collector import DocumentStatistics
+
+        corpus = Corpus()
+        engine = FleXPath.from_corpus(corpus)
+        for text in TEXTS:
+            corpus.add_text(text)
+        fresh = DocumentStatistics(corpus.document)
+        live = engine.context.statistics
+        pairs = [
+            ("collection", "article"),
+            ("article", "title"),
+            ("report", "summary"),
+            (None, "title"),
+            ("collection", None),
+            (None, None),
+        ]
+        for first, second in pairs:
+            assert live.pc_count(first, second) == fresh.pc_count(first, second)
+            assert live.ad_count(first, second) == fresh.ad_count(first, second)
+            assert live.pc_parent_count(first, second) == fresh.pc_parent_count(
+                first, second
+            )
+            assert live.ad_ancestor_count(
+                first, second
+            ) == fresh.ad_ancestor_count(first, second)
+        for tag in ("article", "title", "report", None):
+            assert live.tag_count(tag) == fresh.tag_count(tag)
+
+    def test_backwards_extension_rejected(self):
+        from repro.ir import InvertedIndex
+        from repro.stats.collector import DocumentStatistics
+
+        doc = parse(TEXTS[0])
+        with pytest.raises(ValueError):
+            InvertedIndex(doc).extend(0)
+        with pytest.raises(ValueError):
+            DocumentStatistics(doc).extend(0)
+
+    def test_query_results_stable_across_adds(self):
+        corpus = Corpus()
+        engine = FleXPath.from_corpus(corpus)
+        corpus.add_text(TEXTS[0], name="a")
+        first = engine.query('//article[.contains("xml")]', k=5)
+        assert first.answers
+        assert first.answers[0].node.tag == "article"
+        corpus.add_text(TEXTS[1], name="b")
+        corpus.add_text(TEXTS[2], name="c")
+        second = engine.query('//article[.contains("xml")]', k=5)
+        assert first.answers[0].node_id in second.node_ids()
 
 
 class TestQueryingCollections:

@@ -74,6 +74,100 @@ class TestRoundTrip:
         ]
 
 
+def _assert_same_nodes(first, second):
+    assert len(first) == len(second)
+    for original, copy in zip(first.nodes(), second.nodes()):
+        assert original.tag == copy.tag
+        assert original.text == copy.text
+        assert original.parent_id == copy.parent_id
+        assert original.level == copy.level
+        assert original.start == copy.start
+        assert original.end == copy.end
+        assert original.attributes == copy.attributes
+
+
+class TestFormatVersions:
+    def test_default_writes_v2(self, sample, tmp_path):
+        path = tmp_path / "doc.fxd"
+        dump_document(sample, str(path))
+        assert path.read_text().startswith("flexpath-doc 2\n")
+
+    def test_v1_still_writable_and_loadable(self, sample, tmp_path):
+        path = tmp_path / "doc.fxd"
+        dump_document(sample, str(path), version=1)
+        assert path.read_text().startswith("flexpath-doc 1\n")
+        _assert_same_nodes(sample, load_document(str(path)))
+
+    def test_unknown_version_rejected(self, sample, tmp_path):
+        with pytest.raises(FleXPathError, match="version"):
+            dump_document(sample, str(tmp_path / "doc.fxd"), version=3)
+
+    def test_v2_round_trip_is_byte_exact(self, sample, tmp_path):
+        first = tmp_path / "one.fxd"
+        second = tmp_path / "two.fxd"
+        dump_document(sample, str(first))
+        dump_document(load_document(str(first)), str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_v2_interns_tags_once(self, tmp_path):
+        doc = parse("<a>" + "<b/>" * 50 + "</a>")
+        path = tmp_path / "doc.fxd"
+        dump_document(doc, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[1] == "51\t2"
+        assert lines[2:4] == ["a", "b"]
+        # Node lines carry the small tag id, not the name.
+        assert lines[5] == "0\t1\t\t"
+
+    def test_versions_agree(self, sample, tmp_path):
+        v1 = tmp_path / "one.fxd"
+        v2 = tmp_path / "two.fxd"
+        dump_document(sample, str(v1), version=1)
+        dump_document(sample, str(v2), version=2)
+        _assert_same_nodes(load_document(str(v1)), load_document(str(v2)))
+
+
+class TestSeparatorEscaping:
+    """The \\x1f attribute separator must survive dumps (regression)."""
+
+    def _exotic_document(self):
+        from repro.xmltree.builder import TreeBuilder
+
+        builder = TreeBuilder()
+        builder.start("root", {"sep": "a\x1fb", "tab": "a\tb=c", "back": "a\\b"})
+        builder.start("child", {"nl": "a\nb", "uni": "ünïcødé ✓"})
+        builder.end("child")
+        builder.end("root")
+        doc = builder.finish()
+        # The builder normalizes whitespace (\x1f included), so plant the
+        # raw control characters straight into the text column.
+        doc.store.set_text(1, "text with \x1f separator and \\ backslash")
+        return doc
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_control_characters_round_trip(self, tmp_path, version):
+        doc = self._exotic_document()
+        path = str(tmp_path / "doc.fxd")
+        dump_document(doc, path, version=version)
+        loaded = load_document(path)
+        _assert_same_nodes(doc, loaded)
+        assert loaded.root.attributes == {
+            "sep": "a\x1fb",
+            "tab": "a\tb=c",
+            "back": "a\\b",
+        }
+        assert loaded.node(1).text == "text with \x1f separator and \\ backslash"
+
+    def test_separator_does_not_split_attributes(self, tmp_path):
+        # A \x1f inside a value used to leak into the pair separator,
+        # corrupting neighbouring attributes on reload.
+        doc = self._exotic_document()
+        path = str(tmp_path / "doc.fxd")
+        dump_document(doc, path)
+        loaded = load_document(path)
+        assert len(loaded.root.attributes) == 3
+
+
 class TestCorruptInputs:
     def test_bad_header(self, tmp_path):
         path = tmp_path / "bad.fxd"
@@ -103,4 +197,46 @@ class TestCorruptInputs:
         path = tmp_path / "bad.fxd"
         path.write_text("flexpath-doc 1\n1\n-1\ta\n")
         with pytest.raises(FleXPathError, match="corrupt"):
+            load_document(str(path))
+
+    def test_v2_missing_counts(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\n3\n")
+        with pytest.raises(FleXPathError, match="node count"):
+            load_document(str(path))
+
+    def test_v2_truncated_tag_dictionary(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\n1\t2\na\n")
+        with pytest.raises(FleXPathError, match="expected 2 tags"):
+            load_document(str(path))
+
+    def test_v2_truncated_nodes(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\n2\t1\na\n-1\t0\t\t\n")
+        with pytest.raises(FleXPathError, match="expected 2 nodes"):
+            load_document(str(path))
+
+    def test_v2_unknown_tag_id(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\n1\t1\na\n-1\t7\t\t\n")
+        with pytest.raises(FleXPathError, match="unknown tag id"):
+            load_document(str(path))
+
+    def test_v2_forward_parent_reference(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\n2\t1\na\n-1\t0\t\t\n5\t0\t\t\n")
+        with pytest.raises(FleXPathError, match="precedes"):
+            load_document(str(path))
+
+    def test_empty_document_rejected(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\n0\t0\n")
+        with pytest.raises(FleXPathError, match="empty"):
+            load_document(str(path))
+
+    def test_bad_escape_rejected(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\n1\t1\na\n-1\t0\t\tbad\\q\n")
+        with pytest.raises(FleXPathError, match="escape"):
             load_document(str(path))
