@@ -9,7 +9,7 @@ Scaled here to the 100 KB document and K = 20 (see harness docstring).
 
 import pytest
 
-from benchmarks.harness import context_for, run_topk, warm
+from benchmarks.harness import attach_phase_info, context_for, run_topk, warm
 
 SIZE = "1MB"
 K = 20
@@ -30,3 +30,5 @@ def test_fig09(benchmark, context, query_name, algorithm):
     assert len(result.answers) <= K
     benchmark.extra_info["relaxations_used"] = result.relaxations_used
     benchmark.extra_info["answers"] = len(result.answers)
+    # One untimed traced run decomposes the cost per executor phase.
+    attach_phase_info(benchmark, context, algorithm, query_name, K)

@@ -10,7 +10,7 @@ Scaled here to the 400 KB document with K from 2 to 240 (K=2 sits below the exac
 
 import pytest
 
-from benchmarks.harness import context_for, run_topk, warm
+from benchmarks.harness import attach_phase_info, context_for, run_topk, warm
 
 SIZE = "10MB"
 QUERY = "Q3"
@@ -35,3 +35,5 @@ def test_fig10(benchmark, context, algorithm, k):
     )
     benchmark.extra_info["relaxations_used"] = result.relaxations_used
     benchmark.extra_info["answers"] = len(result.answers)
+    # One untimed traced run decomposes the cost per executor phase.
+    attach_phase_info(benchmark, context, algorithm, QUERY, k)

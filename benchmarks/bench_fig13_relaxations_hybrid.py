@@ -11,7 +11,7 @@ paper's queries vary structurally.
 
 import pytest
 
-from benchmarks.harness import context_for, query, run_topk, warm
+from benchmarks.harness import context_for, run_topk, warm
 
 SIZE = "10MB"
 QUERY = "Q3"

@@ -1,0 +1,80 @@
+"""Tracing-layer overhead: what does observability cost?
+
+Not a paper figure. The observability layer promises *zero overhead when
+off*: every component holds the null tracer by default, hot per-tuple
+counters are gated on ``tracer.enabled``, and per-phase spans add a handful
+of context-manager entries per plan execution. This module keeps that
+promise honest:
+
+- ``test_trace_off_*`` times the normal (untraced) query path — the same
+  call every figure benchmark times — and embeds one traced run's
+  per-phase aggregates and counters in ``extra_info``, so the JSON
+  artifact carries the cost decomposition for free.
+- ``test_trace_on_vs_off`` measures both paths back to back and records
+  their ratio; the traced path is expected to cost more (it is never
+  timed by the figure benchmarks), the untraced path is the product.
+
+The CI smoke job asserts the ``phases`` and ``counters`` keys exist in the
+uploaded benchmark JSON.
+"""
+
+import os
+from time import perf_counter
+
+import pytest
+
+from benchmarks.harness import (
+    attach_phase_info,
+    context_for,
+    run_topk,
+    run_topk_traced,
+    warm,
+)
+
+#: Overridable so CI smoke runs can use a small document.
+SIZE = os.environ.get("FLEXPATH_BENCH_SIZE", "10MB")
+QUERY = "Q2"
+K = 10
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE, seed=42)
+    warm(ctx, QUERY)
+    return ctx
+
+
+@pytest.mark.parametrize("algorithm", ["dpo", "sso", "hybrid"])
+def test_trace_off_query(benchmark, context, algorithm):
+    """The untraced path every figure benchmark times, with one traced
+    run's phase aggregates embedded in the JSON artifact."""
+    result = benchmark(run_topk, context, algorithm, QUERY, K)
+    assert result.answers
+    trace = attach_phase_info(benchmark, context, algorithm, QUERY, K)
+    assert trace.phase_aggregates()
+
+
+def test_trace_on_vs_off(benchmark, context):
+    """Measure the traced path and record its cost relative to untraced.
+
+    The ratio lands in ``extra_info`` (not an assertion — CI timing noise
+    would make a hard threshold flaky); EXPERIMENTS.md records typical
+    values.
+    """
+    rounds = 30
+    run_topk(context, "hybrid", QUERY, K)  # warm
+    started = perf_counter()
+    for _ in range(rounds):
+        run_topk(context, "hybrid", QUERY, K)
+    off_seconds = (perf_counter() - started) / rounds
+
+    trace = benchmark(run_topk_traced, context, "hybrid", QUERY, K)
+    on_seconds = trace.total_seconds
+
+    benchmark.extra_info["trace_off_seconds"] = off_seconds
+    benchmark.extra_info["trace_on_seconds"] = on_seconds
+    benchmark.extra_info["trace_on_over_off"] = (
+        on_seconds / off_seconds if off_seconds > 0 else 0.0
+    )
+    benchmark.extra_info["phases"] = trace.phase_aggregates()
+    benchmark.extra_info["counters"] = trace.counter_totals()

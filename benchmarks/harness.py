@@ -24,6 +24,10 @@ as in the paper.
 
 from __future__ import annotations
 
+from time import perf_counter
+
+from repro.obs.trace import build_query_trace
+from repro.obs.tracer import Tracer
 from repro.query import parse_query
 from repro.topk import DPO, Hybrid, SSO, QueryContext
 from repro.xmark import PAPER_QUERIES, generate_document
@@ -85,6 +89,44 @@ def run_topk(context, algorithm_name, query_name, k, scheme=None, **kwargs):
     if scheme is None:
         return algorithm.top_k(tpq, k, **kwargs)
     return algorithm.top_k(tpq, k, scheme=scheme, **kwargs)
+
+
+def run_topk_traced(context, algorithm_name, query_name, k, scheme=None,
+                    **kwargs):
+    """One traced top-K evaluation; returns a :class:`QueryTrace`.
+
+    Used outside the timed rounds to attach per-phase aggregates to a
+    benchmark's ``extra_info`` — tracing adds overhead, so never time this.
+    """
+    algorithm = _ALGORITHMS[algorithm_name](context)
+    tpq = query(query_name)
+    if scheme is not None:
+        kwargs["scheme"] = scheme
+    tracer = Tracer()
+    context.attach_tracer(tracer)
+    started = perf_counter()
+    try:
+        result = algorithm.top_k(tpq, k, tracer=tracer, **kwargs)
+    finally:
+        context.attach_tracer(None)
+    return build_query_trace(result, tracer, perf_counter() - started)
+
+
+def attach_phase_info(benchmark, context, algorithm_name, query_name, k,
+                      scheme=None, **kwargs):
+    """Embed one traced run's per-phase aggregates in the benchmark JSON.
+
+    Adds ``extra_info["phases"]`` (pipeline-ordered ``{phase: {"seconds",
+    "calls"}}``) and ``extra_info["counters"]`` (IR + executor totals) so
+    ``--benchmark-json`` artifacts carry the cost decomposition alongside
+    the timing.
+    """
+    trace = run_topk_traced(
+        context, algorithm_name, query_name, k, scheme=scheme, **kwargs
+    )
+    benchmark.extra_info["phases"] = trace.phase_aggregates()
+    benchmark.extra_info["counters"] = trace.counter_totals()
+    return trace
 
 
 def warm(context, query_name):

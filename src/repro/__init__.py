@@ -29,6 +29,7 @@ from repro.errors import (
     XMLParseError,
 )
 from repro.ir import IREngine, parse_ftexpr
+from repro.obs import NULL_TRACER, QueryTrace, Tracer
 from repro.query import TPQ, parse_query
 from repro.rank import (
     COMBINED,
@@ -59,15 +60,18 @@ __all__ = [
     "InvalidQueryError",
     "InvalidRelaxationError",
     "KEYWORD_FIRST",
+    "NULL_TRACER",
     "PenaltyModel",
     "QueryContext",
     "QueryParseError",
+    "QueryTrace",
     "RelaxationSchedule",
     "SSO",
     "STRUCTURE_FIRST",
     "ScoredAnswer",
     "TPQ",
     "TopKResult",
+    "Tracer",
     "WeightAssignment",
     "XMLParseError",
     "build_document",

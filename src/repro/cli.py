@@ -18,6 +18,7 @@ Examples::
     python -m repro generate --size-kb 200 --seed 7 -o auctions.xml
     python -m repro query auctions.xml '//item[./description/parlist]' -k 5
     python -m repro explain auctions.xml '//item[./mailbox/mail/text]'
+    python -m repro explain --analyze auctions.xml '//item[./description]'
     python -m repro search auctions.xml '"gold" and "vintage"' -k 3
 """
 
@@ -70,6 +71,23 @@ def build_parser():
     explain.add_argument("file")
     explain.add_argument("query")
     explain.add_argument("-k", type=int, default=10)
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="actually run the query with tracing and print the per-phase"
+        " time and counter breakdown",
+    )
+    explain.add_argument(
+        "--algorithm",
+        choices=("dpo", "sso", "hybrid"),
+        default="hybrid",
+        help="algorithm to analyze (only with --analyze)",
+    )
+    explain.add_argument(
+        "--scheme",
+        choices=("structure-first", "keyword-first", "combined"),
+        default="structure-first",
+        help="ranking scheme to analyze (only with --analyze)",
+    )
 
     search = commands.add_parser("search", help="content-only keyword search")
     search.add_argument("file")
@@ -147,8 +165,7 @@ def _dispatch(args, out):
     if args.command == "exact":
         return _cmd_exact(engine, args, out)
     if args.command == "explain":
-        print(engine.explain(args.query, k=args.k), file=out)
-        return 0
+        return _cmd_explain(engine, args, out)
     if args.command == "search":
         return _cmd_search(engine, args, out)
     if args.command == "stats":
@@ -188,6 +205,21 @@ def _cmd_query(engine, args, out):
         if args.show_text:
             line += "  | %s" % _snippet(engine.document, answer.node)
         print(line, file=out)
+    return 0
+
+
+def _cmd_explain(engine, args, out):
+    print(engine.explain(args.query, k=args.k, scheme=args.scheme), file=out)
+    if args.analyze:
+        trace = engine.query(
+            args.query,
+            k=args.k,
+            scheme=args.scheme,
+            algorithm=args.algorithm,
+            trace=True,
+        )
+        print("", file=out)
+        print(trace.format(), file=out)
     return 0
 
 

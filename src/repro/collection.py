@@ -18,6 +18,7 @@ from __future__ import annotations
 import bisect
 
 from repro.errors import FleXPathError
+from repro.obs.tracer import NULL_TRACER
 from repro.xmltree.builder import TreeBuilder
 from repro.xmltree.parser import parse
 
@@ -40,6 +41,16 @@ class Corpus:
         self._ends = []  # fragment region ends, aligned with _starts
         self._names = []
         self._listeners = []
+        self._tracer = NULL_TRACER
+
+    def set_tracer(self, tracer):
+        """Attach a :class:`~repro.obs.Tracer` to ingest (None detaches).
+
+        Traced appends report ``corpus.splice`` (column append) and
+        ``corpus.extend_subscribers`` (incremental index/statistics growth)
+        spans, plus a ``corpus.nodes_added`` counter.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- ingest --------------------------------------------------------------
 
@@ -53,13 +64,18 @@ class Corpus:
         """
         if name is None:
             name = "doc%d" % len(self._names)
-        start_id = self._document.append_fragment(document, parent_id=0)
+        tracer = self._tracer
+        with tracer.span("corpus.splice"):
+            start_id = self._document.append_fragment(document, parent_id=0)
         end_id = start_id + len(document)
         self._starts.append(start_id)
         self._ends.append(end_id)
         self._names.append(name)
-        for callback in self._listeners:
-            callback(self, start_id, end_id)
+        if tracer.enabled:
+            tracer.count("corpus.nodes_added", end_id - start_id)
+        with tracer.span("corpus.extend_subscribers"):
+            for callback in self._listeners:
+                callback(self, start_id, end_id)
         return self._document.node(start_id)
 
     def add_text(self, text, name=None):

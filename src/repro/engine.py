@@ -21,7 +21,11 @@ Typical use::
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.errors import FleXPathError
+from repro.obs.trace import build_query_trace
+from repro.obs.tracer import Tracer
 from repro.query.parser import parse_query
 from repro.query.tpq import TPQ
 from repro.rank.schemes import STRUCTURE_FIRST, scheme_by_name
@@ -106,7 +110,7 @@ class FleXPath:
         return parse_query(query_text)
 
     def query(self, query, k=10, scheme=STRUCTURE_FIRST,
-              algorithm=DEFAULT_ALGORITHM, max_relaxations=None):
+              algorithm=DEFAULT_ALGORITHM, max_relaxations=None, trace=False):
         """Evaluate a top-K query with relaxation.
 
         Args:
@@ -116,9 +120,13 @@ class FleXPath:
                 "keyword-first", "combined").
             algorithm: "dpo", "sso", or "hybrid".
             max_relaxations: cap on relaxation schedule length (None = all).
+            trace: when True, evaluate with tracing on and return a
+                :class:`~repro.obs.QueryTrace` (the result is its
+                ``.result``) instead of the bare result.
 
         Returns:
-            A :class:`~repro.topk.base.TopKResult`.
+            A :class:`~repro.topk.base.TopKResult`, or a
+            :class:`~repro.obs.QueryTrace` wrapping one when ``trace``.
         """
         tpq = self._coerce_query(query)
         if isinstance(scheme, str):
@@ -130,7 +138,21 @@ class FleXPath:
                 "unknown algorithm %r (choose from %s)"
                 % (algorithm, ", ".join(sorted(_ALGORITHMS)))
             ) from None
-        return strategy.top_k(tpq, k, scheme=scheme, max_relaxations=max_relaxations)
+        if not trace:
+            return strategy.top_k(
+                tpq, k, scheme=scheme, max_relaxations=max_relaxations
+            )
+        tracer = Tracer()
+        self._context.attach_tracer(tracer)
+        started = perf_counter()
+        try:
+            result = strategy.top_k(
+                tpq, k, scheme=scheme, max_relaxations=max_relaxations,
+                tracer=tracer,
+            )
+        finally:
+            self._context.attach_tracer(None)
+        return build_query_trace(result, tracer, perf_counter() - started)
 
     def exact(self, query):
         """Evaluate with strict XPath semantics — no relaxation.

@@ -13,11 +13,15 @@ Boolean structure and plain terms match anywhere in the subtree.
 
 from __future__ import annotations
 
+import bisect
+
+from repro.errors import FleXPathError
 from repro.ir.ftexpr import And, Not, Or, Phrase, Term, Window
 from repro.ir.index import InvertedIndex
 from repro.ir.matching import ftexpr_matches
 from repro.ir.scoring import positive_terms, score_subtree
 from repro.ir.tokenizer import normalize_term
+from repro.obs.tracer import NULL_TRACER
 
 
 class IRMatch:
@@ -34,11 +38,20 @@ class IRMatch:
 
 
 class IREngine:
-    """Evaluates full-text expressions over one document."""
+    """Evaluates full-text expressions over one document.
 
-    def __init__(self, document, index=None):
+    ``virtual_root_id`` marks a synthetic collection root (a corpus'
+    all-spanning node): that node trivially satisfies any expression some
+    document satisfies, so it is excluded from ``count_satisfying`` — the
+    ``#contains`` statistics of §4.3.1 must count real elements only, or
+    every promotion penalty on a corpus is skewed toward 0.
+    """
+
+    def __init__(self, document, index=None, virtual_root_id=None):
         self._document = document
         self._index = index if index is not None else InvertedIndex(document)
+        self._virtual_root_id = virtual_root_id
+        self._tracer = NULL_TRACER
         self._local_match_cache = {}
         self._most_specific_cache = {}
         self._terms_cache = {}
@@ -51,6 +64,20 @@ class IREngine:
     @property
     def index(self):
         return self._index
+
+    @property
+    def virtual_root_id(self):
+        """Node id excluded from count statistics, or None."""
+        return self._virtual_root_id
+
+    def set_tracer(self, tracer):
+        """Attach a :class:`~repro.obs.Tracer` (pass ``None`` to detach).
+
+        With a tracer attached the engine reports cache hits/misses and
+        postings scanned; detached (the default) those code paths reduce to
+        one attribute check.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- incremental corpus growth ---------------------------------------------
 
@@ -71,10 +98,14 @@ class IREngine:
 
     def satisfies(self, node, expression):
         """True if the subtree of ``node`` satisfies the expression."""
+        if self._tracer.enabled:
+            self._tracer.count("ir.satisfies_calls")
         return self._satisfies_region(expression, node.start, node.end)
 
     def score(self, node, expression):
         """Keyword score of ``node`` for the expression, in [0, 1]."""
+        if self._tracer.enabled:
+            self._tracer.count("ir.score_calls")
         terms = self._positive_terms(expression)
         return score_subtree(self._index, node, terms)
 
@@ -88,7 +119,11 @@ class IREngine:
         ties broken by document order.
         """
         if expression in self._most_specific_cache:
+            if self._tracer.enabled:
+                self._tracer.count("ir.cache_hits")
             return self._most_specific_cache[expression]
+        if self._tracer.enabled:
+            self._tracer.count("ir.cache_misses")
         candidates = self._candidate_nodes(expression)
         satisfying = [
             node
@@ -115,19 +150,26 @@ class IREngine:
 
         With ``tag`` given, counts only elements with that tag — this is the
         ``#contains($i, FTExp)`` statistic of §4.3.1 (``$i`` constrained to
-        a tag). Without it, counts all satisfying elements.
+        a tag). Without it, counts all satisfying elements.  A corpus'
+        virtual collection root is never counted (see class docstring).
         """
         key = (expression, tag)
         if key in self._count_cache:
+            if self._tracer.enabled:
+                self._tracer.count("ir.cache_hits")
             return self._count_cache[key]
+        if self._tracer.enabled:
+            self._tracer.count("ir.cache_misses")
         if tag is None:
-            pool = list(self._document.nodes())
+            pool = self._document.nodes()
         else:
             pool = self._document.nodes_with_tag(tag)
+        skip = self._virtual_root_id
         count = sum(
             1
             for node in pool
-            if self._satisfies_region(expression, node.start, node.end)
+            if node.node_id != skip
+            and self._satisfies_region(expression, node.start, node.end)
         )
         self._count_cache[key] = count
         return count
@@ -150,6 +192,8 @@ class IREngine:
             normalized = normalize_term(expression.word)
             if normalized is None:
                 return False
+            if self._tracer.enabled:
+                self._tracer.count("ir.postings_scanned")
             posting = self._index.posting(normalized)
             return posting is not None and posting.subtree_has(start, end)
         if isinstance(expression, And):
@@ -167,21 +211,39 @@ class IREngine:
         if isinstance(expression, (Phrase, Window)):
             local_ids = self._local_match_ids(expression)
             # Binary-search for a locally matching element inside the region.
-            import bisect
-
             lo = bisect.bisect_left(local_ids, start)
             return lo < len(local_ids) and local_ids[lo] < end
         raise TypeError("unknown full-text expression %r" % (expression,))
 
     def _local_match_ids(self, expression):
         """Sorted ids of elements whose *direct* text satisfies the
-        phrase/window expression."""
+        phrase/window expression.
+
+        Raises :class:`FleXPathError` when every term of the phrase/window
+        normalizes to a stop word: such an expression has no indexable
+        content to match, and silently returning no matches hid the
+        mistake from the user (single stop-word *terms* stay a documented
+        no-match — there the term is the whole expression, here the
+        positional constraint is unsatisfiable by construction).
+        """
         if expression in self._local_match_cache:
+            if self._tracer.enabled:
+                self._tracer.count("ir.cache_hits")
             return self._local_match_cache[expression]
         words = [normalize_term(word) for word in expression.terms()]
         words = [word for word in words if word is not None]
+        if not words:
+            kind = "phrase" if isinstance(expression, Phrase) else "window"
+            raise FleXPathError(
+                "%s %s consists entirely of stop words and can never match"
+                % (kind, expression)
+            )
+        if self._tracer.enabled:
+            self._tracer.count("ir.cache_misses")
         candidate_ids = None
         for word in words:
+            if self._tracer.enabled:
+                self._tracer.count("ir.postings_scanned")
             posting = self._index.posting(word)
             ids = set(posting.node_ids) if posting else set()
             candidate_ids = ids if candidate_ids is None else candidate_ids & ids

@@ -1,0 +1,22 @@
+"""Observability: tracing and metrics for the whole query path.
+
+``repro.obs`` is the zero-overhead-when-off telemetry layer: a
+:class:`Tracer` collects named span timings and counters, the executor and
+IR engine report into it when one is attached, and
+:class:`QueryTrace` is the structured result surfaced by
+``FleXPath.query(..., trace=True)``, the CLI's ``explain --analyze``, and
+the benchmark harness' per-phase JSON aggregates.
+"""
+
+from repro.obs.trace import PHASES, LevelTrace, QueryTrace, build_query_trace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "LevelTrace",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASES",
+    "QueryTrace",
+    "Tracer",
+    "build_query_trace",
+]

@@ -24,8 +24,9 @@ joins are all optional.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 
+from repro.obs.tracer import NULL_TRACER
 from repro.rank.schemes import STRUCTURE_FIRST
 from repro.rank.scores import AnswerScore, ScoredAnswer
 
@@ -36,10 +37,18 @@ HYBRID_MODE = "hybrid"
 
 @dataclass
 class ExecutionStats:
-    """Operational counters for one plan execution."""
+    """Operational counters for one plan execution.
+
+    ``tuples_pruned`` counts only threshold / ``maxScoreGrowth`` prunes;
+    tuples dropped because their answer node was already produced at an
+    earlier relaxation level (DPO's §5.2.2 dedup) are counted separately in
+    ``answers_deduped`` — the two mechanisms discard work for unrelated
+    reasons and conflating them made the pruning figures unreadable.
+    """
 
     tuples_produced: int = 0
     tuples_pruned: int = 0
+    answers_deduped: int = 0
     tuples_failed: int = 0
     sort_operations: int = 0
     sorted_tuples: int = 0
@@ -50,6 +59,10 @@ class ExecutionStats:
     def note_intermediate(self, size):
         if size > self.max_intermediate:
             self.max_intermediate = size
+
+    def as_dict(self):
+        """Plain-dict view (JSON-safe; used by traces and benchmarks)."""
+        return asdict(self)
 
 
 @dataclass
@@ -84,7 +97,8 @@ class PlanExecutor:
     # -- public entry ---------------------------------------------------------
 
     def run(self, plan, k=None, scheme=STRUCTURE_FIRST, mode=STRICT,
-            pool_restrictions=None, exclude_answer_ids=None):
+            pool_restrictions=None, exclude_answer_ids=None,
+            tracer=NULL_TRACER):
         """Execute ``plan`` and return deduplicated scored answers.
 
         ``k`` enables threshold pruning (sso/hybrid modes); answers are NOT
@@ -99,6 +113,10 @@ class PlanExecutor:
         already a known answer, as soon as that binding exists — DPO's
         §5.2.2 trick for not recomputing the previous level's answers when
         evaluating the next relaxation.
+
+        ``tracer`` receives one span per phase (seed / extend / checks /
+        dedup / project / prune / sort / bucket / collect); the default
+        no-op tracer makes an untraced run cost nothing extra.
         """
         stats = ExecutionStats()
         self._pool_restrictions = pool_restrictions or {}
@@ -132,64 +150,85 @@ class PlanExecutor:
                 return None
             return heapq.nlargest(k, guaranteed_by_node.values())[-1]
 
-        tuples = self._seed(plan, stats)
+        with tracer.span("seed"):
+            tuples = self._seed(plan, stats)
         if self._excluded_answers and plan.distinguished == plan.root_var:
-            tuples = self._drop_known_answers(tuples, 0, stats)
-        tuples = self._apply_checks(
-            plan, plan.root_var, tuples, var_positions, stats
-        )
+            with tracer.span("dedup"):
+                tuples = self._drop_known_answers(tuples, 0, stats)
+        with tracer.span("checks"):
+            tuples = self._apply_checks(
+                plan, plan.root_var, tuples, var_positions, stats
+            )
+        # Zero-join plans never enter the loop below; record the seeded and
+        # checked population here so max_intermediate is meaningful for them.
+        stats.note_intermediate(len(tuples))
 
         for index, join in enumerate(plan.joins):
-            tuples = self._extend(join, tuples, var_positions, stats)
+            with tracer.span("extend"):
+                tuples = self._extend(join, tuples, var_positions, stats)
             if self._excluded_answers and join.var == plan.distinguished:
-                tuples = self._drop_known_answers(
-                    tuples, var_positions[join.var], stats
+                with tracer.span("dedup"):
+                    tuples = self._drop_known_answers(
+                        tuples, var_positions[join.var], stats
+                    )
+            with tracer.span("checks"):
+                tuples = self._apply_checks(
+                    plan, join.var, tuples, var_positions, stats
                 )
-            tuples = self._apply_checks(plan, join.var, tuples, var_positions, stats)
-            tuples = self._project(
-                tuples, live_after[index], var_positions, scheme, stats
-            )
+            with tracer.span("project"):
+                tuples = self._project(
+                    tuples, live_after[index], var_positions, scheme, stats
+                )
             position = index + 1
 
             if prune:
                 # Register guarantees, then prune against the threshold.
-                if guaranteed_ok[position]:
-                    for item in tuples:
-                        guarantee(
-                            item,
-                            self._pessimistic(
-                                item, guaranteed_ss[position], scheme
-                            ),
-                        )
-                limit = threshold()
-                if limit is not None:
-                    kept = []
-                    for item in tuples:
-                        optimistic = self._optimistic(
-                            item, growth_ss[position], growth_ks[position], scheme
-                        )
-                        if optimistic < limit:
-                            stats.tuples_pruned += 1
-                        else:
-                            kept.append(item)
-                    tuples = kept
+                with tracer.span("prune"):
+                    if guaranteed_ok[position]:
+                        for item in tuples:
+                            guarantee(
+                                item,
+                                self._pessimistic(
+                                    item, guaranteed_ss[position], scheme
+                                ),
+                            )
+                    limit = threshold()
+                    if limit is not None:
+                        kept = []
+                        for item in tuples:
+                            optimistic = self._optimistic(
+                                item,
+                                growth_ss[position],
+                                growth_ks[position],
+                                scheme,
+                            )
+                            if optimistic < limit:
+                                stats.tuples_pruned += 1
+                            else:
+                                kept.append(item)
+                        tuples = kept
 
             if mode == SSO_MODE:
                 # SSO keeps intermediate answers sorted on score (§5.2.2).
-                tuples.sort(key=lambda item: item.ss, reverse=True)
+                with tracer.span("sort"):
+                    tuples.sort(key=lambda item: item.ss, reverse=True)
                 stats.sort_operations += 1
                 stats.sorted_tuples += len(tuples)
             elif mode == HYBRID_MODE:
                 # Hybrid re-groups into score-homogeneous buckets instead.
-                buckets = {}
-                for item in tuples:
-                    buckets.setdefault(item.signature, []).append(item)
-                stats.buckets_created += len(buckets)
-                tuples = [item for bucket in buckets.values() for item in bucket]
+                with tracer.span("bucket"):
+                    buckets = {}
+                    for item in tuples:
+                        buckets.setdefault(item.signature, []).append(item)
+                    stats.buckets_created += len(buckets)
+                    tuples = [
+                        item for bucket in buckets.values() for item in bucket
+                    ]
 
             stats.note_intermediate(len(tuples))
 
-        answers = self._collect(plan, tuples, var_positions, scheme, stats)
+        with tracer.span("collect"):
+            answers = self._collect(plan, tuples, var_positions, scheme, stats)
         return ExecutionResult(answers=answers, stats=stats)
 
     # -- phases -----------------------------------------------------------------
@@ -321,13 +360,18 @@ class PlanExecutor:
         return list(best.values())
 
     def _drop_known_answers(self, tuples, position, stats):
-        """Discard tuples already answered at a previous relaxation level."""
+        """Discard tuples already answered at a previous relaxation level.
+
+        These drops are dedup, not pruning: they count into
+        ``answers_deduped`` so ``tuples_pruned`` stays a pure measure of
+        the threshold / ``maxScoreGrowth`` mechanism.
+        """
         excluded = self._excluded_answers
         kept = []
         for item in tuples:
             node = item.bindings[position]
             if node is not None and node.node_id in excluded:
-                stats.tuples_pruned += 1
+                stats.answers_deduped += 1
             else:
                 kept.append(item)
         return kept

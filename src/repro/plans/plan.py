@@ -29,7 +29,7 @@ Plans are built in two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import EvaluationError
 from repro.query.tpq import PC

@@ -21,8 +21,6 @@ exercises it against brute-force evaluation on sample documents.
 
 from __future__ import annotations
 
-from itertools import product
-
 from repro.query.closure import closure
 from repro.query.predicates import Ad, AttrCompare, Contains, Pc, Tag
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.errors import FleXPathError, InvalidRelaxationError
+from repro.errors import FleXPathError
 from repro.query.tpq import PC
 from repro.relax.operators import (
     axis_generalization,

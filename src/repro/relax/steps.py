@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.query.predicates import Ad, Contains, Pc
+from repro.query.predicates import Ad, Pc
 from repro.query.tpq import PC
 from repro.relax.operators import (
     axis_generalization,

@@ -19,10 +19,20 @@ from __future__ import annotations
 
 
 class DocumentStatistics:
-    """Tag and tag-pair counts for one document."""
+    """Tag and tag-pair counts for one document.
 
-    def __init__(self, document):
+    ``virtual_root_id`` marks a corpus' synthetic collection root.  That
+    node is excluded from every count — it is not an element of any source
+    document, it forms an ancestor-descendant pair with *every* node, and
+    counting it inflates exactly the wildcard marginals and promotion
+    denominators the penalty model divides by (§4.3.1).  With the exclusion
+    a one-document corpus yields the same statistics (hence the same
+    penalties) as the document queried stand-alone.
+    """
+
+    def __init__(self, document, virtual_root_id=None):
         self._document = document
+        self._virtual_root_id = virtual_root_id
         self._tag_counts = {}
         self._pc_pairs = {}
         self._ad_pairs = {}
@@ -51,11 +61,14 @@ class DocumentStatistics:
                 "cannot extend statistics backwards (counted to %d, asked for %d)"
                 % (self._counted_upto, start_id)
             )
+        virtual_root = self._virtual_root_id
         for node_id in range(start_id, end_id):
+            if node_id == virtual_root:
+                continue
             node = document.node(node_id)
             self._tag_counts[node.tag] = self._tag_counts.get(node.tag, 0) + 1
             parent = document.parent(node)
-            if parent is not None:
+            if parent is not None and parent.node_id != virtual_root:
                 for key in (
                     (parent.tag, node.tag),
                     (parent.tag, None),
@@ -65,6 +78,8 @@ class DocumentStatistics:
                     self._pc_pairs[key] = self._pc_pairs.get(key, 0) + 1
                     self._pc_parent_sets.setdefault(key, set()).add(parent.node_id)
             for ancestor in document.ancestors(node):
+                if ancestor.node_id == virtual_root:
+                    continue
                 for key in (
                     (ancestor.tag, node.tag),
                     (ancestor.tag, None),
@@ -83,13 +98,21 @@ class DocumentStatistics:
         return self._document
 
     @property
+    def virtual_root_id(self):
+        """Node id excluded from the counts, or None."""
+        return self._virtual_root_id
+
+    @property
     def total_elements(self):
-        return len(self._document)
+        total = len(self._document)
+        if self._virtual_root_id is not None:
+            total -= 1
+        return total
 
     def tag_count(self, tag):
         """``#(t)``: number of elements with the tag (None counts all)."""
         if tag is None:
-            return len(self._document)
+            return self.total_elements
         return self._tag_counts.get(tag, 0)
 
     def pc_count(self, parent_tag, child_tag):

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ir.engine import IREngine
+from repro.obs.trace import LevelTrace
+from repro.obs.tracer import Tracer
 from repro.plans.executor import PlanExecutor
 from repro.relax.penalties import UNIFORM_WEIGHTS, PenaltyModel
 from repro.relax.steps import RelaxationSchedule
@@ -39,9 +41,18 @@ class QueryContext:
             document = corpus.document
         self.corpus = corpus
         self.document = document
-        self.ir = ir_engine if ir_engine is not None else IREngine(document)
+        # A corpus' all-spanning virtual root (always node 0) must not be
+        # counted by the statistics it would otherwise trivially dominate.
+        virtual_root_id = 0 if corpus is not None else None
+        self.ir = (
+            ir_engine
+            if ir_engine is not None
+            else IREngine(document, virtual_root_id=virtual_root_id)
+        )
         self.statistics = (
-            statistics if statistics is not None else DocumentStatistics(document)
+            statistics
+            if statistics is not None
+            else DocumentStatistics(document, virtual_root_id=virtual_root_id)
         )
         self.weights = weights
         self.penalties = PenaltyModel(self.statistics, self.ir, weights)
@@ -56,6 +67,15 @@ class QueryContext:
         self.ir.extend(start_id, end_id)
         self.statistics.extend(start_id, end_id)
         self._schedules.clear()
+
+    def attach_tracer(self, tracer):
+        """Point the context's IR engine at a tracer (None detaches).
+
+        The executor receives its tracer per ``run`` call; the IR engine is
+        long-lived and shared, so tracing is attached for the duration of a
+        traced query and detached afterwards.
+        """
+        self.ir.set_tracer(tracer)
 
     def schedule(self, query, max_steps=None, skip_useless_gamma=True):
         """Return (and cache) the relaxation schedule for a query."""
@@ -83,6 +103,7 @@ class TopKResult:
     levels_evaluated: int  # plans actually executed (DPO > 1, SSO/Hybrid ≥ 1)
     restarts: int = 0
     stats: list = field(default_factory=list)  # ExecutionStats per plan run
+    traces: list = field(default_factory=list)  # LevelTrace per run (traced)
 
     def nodes(self):
         return [answer.node for answer in self.answers]
@@ -97,6 +118,29 @@ class TopKResult:
             len(self.answers),
             self.relaxations_used,
         )
+
+
+def run_plan_traced(context, plan, label, tracer, traces, **kwargs):
+    """Execute one plan, capturing a per-level trace when tracing is on.
+
+    Shared by every top-K strategy: with a live tracer, the plan runs
+    against a fresh per-level :class:`Tracer` whose spans are merged into
+    the query-wide one and recorded as a :class:`LevelTrace` in ``traces``;
+    with the null tracer this is exactly one extra ``enabled`` check.
+    """
+    if not tracer.enabled:
+        return context.executor.run(plan, **kwargs)
+    level_tracer = Tracer()
+    result = context.executor.run(plan, tracer=level_tracer, **kwargs)
+    tracer.merge(level_tracer)
+    traces.append(
+        LevelTrace(
+            label=label,
+            spans=level_tracer.snapshot()["spans"],
+            stats=result.stats,
+        )
+    )
+    return result
 
 
 def combined_level_cutoff(schedule, reached_level, contains_count):

@@ -20,11 +20,12 @@ scheme the §5.1 cutoff limits how far past the K-th answer DPO walks.
 
 from __future__ import annotations
 
+from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import STRICT
 from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
-from repro.topk.base import TopKResult, combined_level_cutoff
+from repro.topk.base import TopKResult, combined_level_cutoff, run_plan_traced
 
 
 class DPO:
@@ -35,15 +36,18 @@ class DPO:
     def __init__(self, context):
         self._context = context
 
-    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None):
+    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
+              tracer=NULL_TRACER):
         """Return the top-K answers of ``query`` under ``scheme``."""
         context = self._context
-        schedule = context.schedule(query, max_steps=max_relaxations)
+        with tracer.span("schedule"):
+            schedule = context.schedule(query, max_steps=max_relaxations)
         contains_count = len(query.contains)
 
         seen = set()
         collected = []
         stats = []
+        traces = []
         levels_evaluated = 0
         cutoff = len(schedule)
         reached_level = None
@@ -56,8 +60,14 @@ class DPO:
             # Answers of earlier levels are excluded inside the executor as
             # soon as the answer variable binds — the paper's §5.2.2 trick
             # for avoiding recomputation across successive relaxations.
-            result = context.executor.run(
-                plan, mode=STRICT, exclude_answer_ids=seen
+            result = run_plan_traced(
+                context,
+                plan,
+                "level %d" % level,
+                tracer,
+                traces,
+                mode=STRICT,
+                exclude_answer_ids=seen,
             )
             stats.append(result.stats)
             levels_evaluated += 1
@@ -102,4 +112,5 @@ class DPO:
             relaxations_used=levels_evaluated - 1,
             levels_evaluated=levels_evaluated,
             stats=stats,
+            traces=traces,
         )

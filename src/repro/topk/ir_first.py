@@ -21,11 +21,12 @@ the trade-off the paper predicted, measurable with
 
 from __future__ import annotations
 
+from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import STRICT
 from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
-from repro.topk.base import TopKResult, combined_level_cutoff
+from repro.topk.base import TopKResult, combined_level_cutoff, run_plan_traced
 
 
 class IRFirstDPO:
@@ -65,14 +66,17 @@ class IRFirstDPO:
                 restrictions[predicate.var] = current & satisfiers
         return restrictions
 
-    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None):
+    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
+              tracer=NULL_TRACER):
         context = self._context
-        schedule = context.schedule(query, max_steps=max_relaxations)
+        with tracer.span("schedule"):
+            schedule = context.schedule(query, max_steps=max_relaxations)
         contains_count = len(query.contains)
 
         seen = set()
         collected = []
         stats = []
+        traces = []
         levels_evaluated = 0
         cutoff = len(schedule)
         reached_level = None
@@ -82,9 +86,14 @@ class IRFirstDPO:
                 break
             entry = schedule.level(level)
             plan = build_strict_plan(entry.query, context.weights)
-            restrictions = self._restrictions_for(entry.query)
-            result = context.executor.run(
+            with tracer.span("ir_filter"):
+                restrictions = self._restrictions_for(entry.query)
+            result = run_plan_traced(
+                context,
                 plan,
+                "level %d" % level,
+                tracer,
+                traces,
                 mode=STRICT,
                 pool_restrictions=restrictions,
                 exclude_answer_ids=seen,
@@ -130,4 +139,5 @@ class IRFirstDPO:
             relaxations_used=levels_evaluated - 1,
             levels_evaluated=levels_evaluated,
             stats=stats,
+            traces=traces,
         )

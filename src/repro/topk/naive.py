@@ -17,11 +17,12 @@ what DPO's bookkeeping and SSO's single-plan encoding buy:
 
 from __future__ import annotations
 
+from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import STRICT
 from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
-from repro.topk.base import TopKResult
+from repro.topk.base import TopKResult, run_plan_traced
 
 
 class NaiveRewriting:
@@ -32,16 +33,21 @@ class NaiveRewriting:
     def __init__(self, context):
         self._context = context
 
-    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None):
+    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
+              tracer=NULL_TRACER):
         context = self._context
-        schedule = context.schedule(query, max_steps=max_relaxations)
+        with tracer.span("schedule"):
+            schedule = context.schedule(query, max_steps=max_relaxations)
 
         collected = {}
         stats = []
+        traces = []
         for level in range(len(schedule) + 1):
             entry = schedule.level(level)
             plan = build_strict_plan(entry.query, context.weights)
-            result = context.executor.run(plan, mode=STRICT)
+            result = run_plan_traced(
+                context, plan, "level %d" % level, tracer, traces, mode=STRICT
+            )
             stats.append(result.stats)
             level_score = schedule.structural_score(level)
             for answer in result.answers:
@@ -67,4 +73,5 @@ class NaiveRewriting:
             relaxations_used=len(schedule),
             levels_evaluated=len(schedule) + 1,
             stats=stats,
+            traces=traces,
         )

@@ -13,10 +13,11 @@ SSO restarts with more relaxations encoded (Algorithm 1, lines 11-13).
 
 from __future__ import annotations
 
+from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import SSO_MODE
 from repro.plans.plan import build_encoded_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
-from repro.topk.base import TopKResult, combined_level_cutoff
+from repro.topk.base import TopKResult, combined_level_cutoff, run_plan_traced
 
 
 class SSO:
@@ -49,20 +50,32 @@ class SSO:
             return combined_level_cutoff(schedule, level, contains_count)
         return level
 
-    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None):
+    def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
+              tracer=NULL_TRACER):
         """Return the top-K answers of ``query`` under ``scheme``."""
         context = self._context
-        schedule = context.schedule(query, max_steps=max_relaxations)
+        with tracer.span("schedule"):
+            schedule = context.schedule(query, max_steps=max_relaxations)
         contains_count = len(query.contains)
 
         level = self.choose_level(schedule, k, scheme, contains_count)
         stats = []
+        traces = []
         restarts = 0
         levels_evaluated = 0
 
         while True:
             plan = build_encoded_plan(schedule, level)
-            result = context.executor.run(plan, k=k, scheme=scheme, mode=self._mode)
+            result = run_plan_traced(
+                context,
+                plan,
+                "encoded@level %d" % level,
+                tracer,
+                traces,
+                k=k,
+                scheme=scheme,
+                mode=self._mode,
+            )
             stats.append(result.stats)
             levels_evaluated += 1
             if len(result.answers) >= k or level >= len(schedule):
@@ -82,4 +95,5 @@ class SSO:
             levels_evaluated=levels_evaluated,
             restarts=restarts,
             stats=stats,
+            traces=traces,
         )

@@ -18,7 +18,7 @@ All probabilities are configurable via :class:`XMarkConfig`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.xmark.words import (
     CATEGORY_WORDS,

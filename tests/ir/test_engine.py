@@ -135,3 +135,37 @@ class TestScore:
         expr = parse_ftexpr('"gold"')
         item = doc.nodes_with_tag("item")[0]
         assert engine.score(item, expr) > 0.0
+
+
+class TestAllStopwordPositional:
+    """Phrases/windows whose every term is a stop word cannot match —
+    stop words are never indexed — so silently returning no matches hid a
+    user mistake. The engine now raises instead (a single stop-word *term*
+    stays a documented no-match)."""
+
+    def test_all_stopword_phrase_raises(self, doc, engine):
+        from repro.errors import FleXPathError
+
+        expr = parse_ftexpr('"of the"')
+        root = doc.node(0)
+        with pytest.raises(FleXPathError, match="stop words"):
+            engine.satisfies(root, expr)
+
+    def test_all_stopword_window_raises(self, doc, engine):
+        from repro.errors import FleXPathError
+        from repro.ir.ftexpr import Window
+
+        expr = Window(3, ("the", "and"))
+        root = doc.node(0)
+        with pytest.raises(FleXPathError, match="window"):
+            engine.satisfies(root, expr)
+
+    def test_mixed_phrase_still_matches(self, doc, engine):
+        """One content word among stop words keeps the phrase evaluable."""
+        expr = parse_ftexpr('"the gold"')
+        names = doc.nodes_with_tag("name")
+        assert engine.satisfies(names[0], expr)
+
+    def test_single_stopword_term_is_a_quiet_no_match(self, doc, engine):
+        expr = parse_ftexpr('"the"')
+        assert not engine.satisfies(doc.node(0), expr)

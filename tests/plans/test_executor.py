@@ -12,11 +12,10 @@ from repro.plans import (
     build_strict_plan,
 )
 from repro.query import evaluate, parse_query
-from repro.rank import KEYWORD_FIRST, STRUCTURE_FIRST
+from repro.rank import STRUCTURE_FIRST
 from repro.relax import UNIFORM_WEIGHTS, PenaltyModel, RelaxationSchedule
 from repro.stats import DocumentStatistics
 from repro.xmark import generate_document
-from repro.xmltree import parse
 
 
 @pytest.fixture(scope="module")
@@ -201,3 +200,69 @@ class TestStats:
         plan = build_strict_plan(query, UNIFORM_WEIGHTS)
         result = executor.run(plan, mode=STRICT)
         assert result.stats.max_intermediate > 0
+
+    def test_intermediate_size_tracked_without_joins(self, executor, doc):
+        """Regression: single-variable plans have no joins, and
+        ``max_intermediate`` used to stay 0 because it was only recorded
+        inside the join loop. The seeded population is an intermediate
+        result too."""
+        query = parse_query("//item")
+        plan = build_strict_plan(query, UNIFORM_WEIGHTS)
+        assert not plan.joins
+        result = executor.run(plan, mode=STRICT)
+        assert result.stats.max_intermediate == len(doc.nodes_with_tag("item"))
+
+    def test_dedup_counted_separately_from_pruning(self, executor):
+        """Known-answer exclusion is dedup bookkeeping, not score-threshold
+        pruning — the two counters must not be conflated."""
+        query = parse_query("//item[./name]")
+        plan = build_strict_plan(query, UNIFORM_WEIGHTS)
+        full = executor.run(plan, mode=STRICT)
+        known = {a.node_id for a in full.answers[:3]}
+        rerun = executor.run(plan, mode=STRICT, exclude_answer_ids=known)
+        assert rerun.stats.answers_deduped == len(known)
+        assert rerun.stats.tuples_pruned == 0
+
+    def test_stats_as_dict_round_trip(self, executor):
+        query = parse_query("//item[./name]")
+        plan = build_strict_plan(query, UNIFORM_WEIGHTS)
+        stats = executor.run(plan, mode=STRICT).stats
+        as_dict = stats.as_dict()
+        assert as_dict["tuples_produced"] == stats.tuples_produced
+        assert set(as_dict) >= {
+            "tuples_produced",
+            "tuples_pruned",
+            "answers_deduped",
+            "max_intermediate",
+        }
+
+
+class TestExecutorTracing:
+    def test_phases_recorded_for_joined_plan(self, executor):
+        from repro.obs import Tracer
+
+        query = parse_query("//item[./description/parlist]")
+        plan = build_strict_plan(query, UNIFORM_WEIGHTS)
+        tracer = Tracer()
+        traced = executor.run(plan, mode=STRICT, tracer=tracer)
+        untraced = executor.run(plan, mode=STRICT)
+        assert [a.node_id for a in traced.answers] == [
+            a.node_id for a in untraced.answers
+        ]
+        snapshot = tracer.snapshot()
+        for phase in ("seed", "extend", "checks", "project", "collect"):
+            assert phase in snapshot["spans"], phase
+            assert snapshot["spans"][phase]["seconds"] >= 0.0
+        assert snapshot["spans"]["extend"]["calls"] == len(plan.joins)
+
+    def test_hybrid_mode_records_bucket_phase(self, executor, model):
+        from repro.obs import Tracer
+
+        query = parse_query("//item[./description/parlist and ./mailbox/mail]")
+        schedule = RelaxationSchedule(query, model)
+        plan = build_encoded_plan(schedule, len(schedule))
+        tracer = Tracer()
+        executor.run(plan, mode=HYBRID_MODE, tracer=tracer)
+        spans = tracer.snapshot()["spans"]
+        assert "bucket" in spans
+        assert "sort" not in spans

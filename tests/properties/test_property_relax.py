@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings
 
-from repro.query import evaluate, is_contained_in, parse_query
+from repro.query import evaluate, is_contained_in
 from repro.relax import PenaltyModel, RelaxationSchedule, applicable_relaxations
 from repro.stats import DocumentStatistics
 

@@ -1,0 +1,81 @@
+"""Property tests: cross-algorithm agreement over generated workloads.
+
+The workload generator samples satisfiable tree patterns from the
+document's own structure, so these properties sweep a far wider query
+space than the paper's three — with threshold pruning live (``k`` and
+``scheme`` reach the executor) and small K, where pruning is most
+aggressive.
+
+Invariants (empirically established, see tests/topk/test_equivalence.py
+for why DPO is excluded from the general case):
+
+- SSO and Hybrid return *identical ranked answer lists* — ids and both
+  score components — under every ranking scheme: they run the same
+  encoded plan and differ only in how intermediates are ordered.
+- When every returned answer is exact (relaxation level 0), DPO agrees
+  with both: no level-granularity scoring is involved.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rank import COMBINED, KEYWORD_FIRST, STRUCTURE_FIRST
+from repro.topk import DPO, Hybrid, QueryContext, SSO
+from repro.workload import generate_workload
+from repro.xmark import generate_document
+
+SCHEMES = [STRUCTURE_FIRST, KEYWORD_FIRST, COMBINED]
+
+_document = generate_document(target_bytes=20_000, seed=5)
+_queries = generate_workload(_document, 12, seed=5)
+_context = QueryContext(_document)
+
+
+def ranked_list(result):
+    return [
+        (a.node_id, round(a.score.structural, 9), round(a.score.keyword, 9))
+        for a in result.answers
+    ]
+
+
+@pytest.mark.skipif(not _queries, reason="workload generation came up empty")
+@given(
+    query_index=st.integers(0, len(_queries) - 1),
+    scheme_index=st.integers(0, len(SCHEMES) - 1),
+    k=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_sso_and_hybrid_return_identical_ranked_lists(
+    query_index, scheme_index, k
+):
+    query = _queries[query_index]
+    scheme = SCHEMES[scheme_index]
+    sso = SSO(_context).top_k(query, k, scheme=scheme)
+    hybrid = Hybrid(_context).top_k(query, k, scheme=scheme)
+    assert ranked_list(sso) == ranked_list(hybrid)
+
+
+@pytest.mark.skipif(not _queries, reason="workload generation came up empty")
+@given(
+    query_index=st.integers(0, len(_queries) - 1),
+    scheme_index=st.integers(0, len(SCHEMES) - 1),
+    k=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_dpo_agrees_when_all_answers_are_exact(query_index, scheme_index, k):
+    query = _queries[query_index]
+    scheme = SCHEMES[scheme_index]
+    results = [
+        algorithm(_context).top_k(query, k, scheme=scheme)
+        for algorithm in (DPO, SSO, Hybrid)
+    ]
+    if any(
+        answer.relaxation_level != 0
+        for result in results
+        for answer in result.answers
+    ):
+        return  # DPO scores at level granularity; covered by SSO≡Hybrid
+    first = ranked_list(results[0])
+    for other in results[1:]:
+        assert ranked_list(other) == first

@@ -1,7 +1,5 @@
 """The single-step relaxation enumeration used by the space explorer."""
 
-import pytest
-
 from repro.query import parse_query
 from repro.relax import applicable_relaxations
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.ir import IREngine, parse_ftexpr
-from repro.query import Ad, Contains, Pc, parse_query
+from repro.ir import IREngine
+from repro.query import Ad, Pc, parse_query
 from repro.relax import PenaltyModel, WeightAssignment
 from repro.stats import DocumentStatistics
 from repro.xmltree import parse

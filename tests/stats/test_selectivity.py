@@ -6,7 +6,6 @@ from repro.ir import IREngine
 from repro.query import evaluate, parse_query
 from repro.stats import DocumentStatistics, SelectivityEstimator
 from repro.xmark import generate_document
-from repro.xmltree import parse
 
 
 @pytest.fixture(scope="module")

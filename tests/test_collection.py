@@ -160,7 +160,9 @@ class TestIncrementalIngest:
         engine = FleXPath.from_corpus(corpus)
         for text in TEXTS:
             corpus.add_text(text)
-        fresh = DocumentStatistics(corpus.document)
+        # The context excludes the virtual collection root (node 0) from its
+        # live statistics; build the from-scratch reference the same way.
+        fresh = DocumentStatistics(corpus.document, virtual_root_id=0)
         live = engine.context.statistics
         pairs = [
             ("collection", "article"),
@@ -217,3 +219,69 @@ class TestQueryingCollections:
         matches = engine.keyword_search('"xml"', k=10)
         sources = {collection.source_of(m.node) for m in matches}
         assert sources == {"a", "c"}
+
+
+class TestVirtualRootExclusion:
+    """A one-document corpus must behave statistically like the document
+    queried stand-alone: the all-spanning virtual collection root would
+    otherwise join every tag-pair count, satisfy every expression, and
+    skew the §4.3.1 penalties toward 0."""
+
+    XML = (
+        "<article>"
+        "<section><title>xml basics</title>"
+        "<paragraph>xml streaming content</paragraph></section>"
+        "<section><paragraph>unrelated text</paragraph></section>"
+        "</article>"
+    )
+    QUERY = '//article[./section[./paragraph and .contains("xml")]]'
+
+    def _engines(self):
+        single = FleXPath.from_xml(self.XML)
+        corpus = Corpus()
+        corpus.add_text(self.XML, name="only")
+        return single, FleXPath.from_corpus(corpus)
+
+    def test_count_satisfying_excludes_collection_root(self):
+        from repro.ir import parse_ftexpr
+
+        single, on_corpus = self._engines()
+        expr = parse_ftexpr('"xml"')
+        assert on_corpus.context.ir.count_satisfying(
+            expr
+        ) == single.context.ir.count_satisfying(expr)
+
+    def test_statistics_exclude_collection_root(self):
+        single, on_corpus = self._engines()
+        live = on_corpus.context.statistics
+        reference = single.context.statistics
+        assert live.total_elements == reference.total_elements
+        assert live.tag_count(None) == reference.tag_count(None)
+        for pair in [("article", "section"), (None, "paragraph"), (None, None)]:
+            assert live.pc_count(*pair) == reference.pc_count(*pair)
+            assert live.ad_count(*pair) == reference.ad_count(*pair)
+
+    def test_one_document_corpus_penalties_match_single_document(self):
+        single, on_corpus = self._engines()
+        query = single.parse(self.QUERY)
+        reference = single.context.schedule(query)
+        live = on_corpus.context.schedule(query)
+        assert len(live) == len(reference)
+        for level in range(len(reference) + 1):
+            assert live.structural_score(level) == pytest.approx(
+                reference.structural_score(level)
+            )
+
+    def test_same_answers_and_scores_either_way(self):
+        single, on_corpus = self._engines()
+        for algorithm in ("dpo", "sso", "hybrid"):
+            a = single.query(self.QUERY, k=5, algorithm=algorithm)
+            b = on_corpus.query(self.QUERY, k=5, algorithm=algorithm)
+            assert [x.node.tag for x in a.answers] == [
+                x.node.tag for x in b.answers
+            ]
+            assert [
+                (x.score.structural, x.score.keyword) for x in a.answers
+            ] == pytest.approx(
+                [(y.score.structural, y.score.keyword) for y in b.answers]
+            )

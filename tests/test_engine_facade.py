@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import FleXPath, FleXPathError, TPQ
+from repro import FleXPath, FleXPathError
 from repro.rank import STRUCTURE_FIRST
 
 

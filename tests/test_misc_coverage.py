@@ -1,7 +1,5 @@
 """Assorted coverage: small helpers that deserve explicit pinning."""
 
-import pytest
-
 from repro.ir import IREngine, parse_ftexpr
 from repro.xmltree import parse
 

@@ -1,7 +1,5 @@
 """The benchmark-output summarizer."""
 
-import pathlib
-
 import pytest
 
 from benchmarks.summarize import main, parse

@@ -4,7 +4,7 @@ import pytest
 
 from repro.query import evaluate
 from repro.topk import DPO, Hybrid, QueryContext, SSO
-from repro.workload import WorkloadGenerator, generate_workload
+from repro.workload import generate_workload
 from repro.xmark import generate_document
 
 

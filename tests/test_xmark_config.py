@@ -1,7 +1,5 @@
 """XMark generator configuration knobs."""
 
-import pytest
-
 from repro.xmark import XMarkConfig, XMarkGenerator
 
 

@@ -113,7 +113,9 @@ class TestRecomputationAvoidance:
         excluded = context.executor.run(
             plan, mode=STRICT, exclude_answer_ids=exact_ids
         )
-        assert excluded.stats.tuples_pruned >= len(exact_ids)
+        # Known-answer drops are dedup work, not score-threshold pruning.
+        assert excluded.stats.answers_deduped >= len(exact_ids)
+        assert excluded.stats.tuples_pruned == 0
         got = {a.node_id for a in excluded.answers}
         assert got == {a.node_id for a in fresh.answers} - exact_ids
 

@@ -12,7 +12,7 @@ returned answers must coincide whenever scores are unambiguous.
 import pytest
 
 from repro.query import parse_query
-from repro.rank import COMBINED, KEYWORD_FIRST, STRUCTURE_FIRST
+from repro.rank import COMBINED, KEYWORD_FIRST
 from repro.topk import DPO, Hybrid, SSO, QueryContext
 from repro.xmark import generate_document
 

@@ -1,7 +1,5 @@
 """XML serialization."""
 
-import pytest
-
 from repro.xmltree import build_document, element, parse, to_xml, write_xml
 
 
