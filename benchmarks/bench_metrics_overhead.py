@@ -1,0 +1,69 @@
+"""Metrics-registry overhead: what does always-on accounting cost?
+
+Not a paper figure. Unlike the opt-in tracer, the metrics registry is
+*always on*: every query, plan execution, and IR cache access is counted
+even with no listener installed. The design keeps the hot paths cheap —
+plain unsynchronized int increments inside the IR engine, one
+``REGISTRY.enabled`` check plus a single ``inc_many`` lock acquisition at
+each per-query fold point — and this module keeps that promise honest:
+
+- ``test_metrics_on_query`` times the normal query path (registry
+  enabled, no event listeners), which is exactly what every figure
+  benchmark times.
+- ``test_metrics_on_vs_off`` measures the same path with the registry
+  disabled and records the on/off ratio in ``extra_info``; the
+  acceptance target is <= 1.05 (no hard assert — CI timing noise would
+  make a threshold flaky; ``benchmarks/regress.py`` gates the medians
+  instead).
+"""
+
+import os
+from time import perf_counter
+
+import pytest
+
+from benchmarks.harness import context_for, run_topk, warm
+from repro.obs.metrics import REGISTRY
+
+#: Overridable so CI smoke runs can use a small document.
+SIZE = os.environ.get("FLEXPATH_BENCH_SIZE", "10MB")
+QUERY = "Q2"
+K = 10
+
+
+@pytest.fixture(scope="module")
+def context():
+    ctx = context_for(SIZE, seed=42)
+    warm(ctx, QUERY)
+    return ctx
+
+
+@pytest.mark.parametrize("algorithm", ["dpo", "sso", "hybrid"])
+def test_metrics_on_query(benchmark, context, algorithm):
+    """The always-on path: registry enabled, no listeners (the default)."""
+    result = benchmark(run_topk, context, algorithm, QUERY, K)
+    assert result.answers
+
+
+def test_metrics_on_vs_off(benchmark, context):
+    """Record the on/off cost ratio of the registry in ``extra_info``."""
+    rounds = 30
+    REGISTRY.enabled = False
+    try:
+        run_topk(context, "hybrid", QUERY, K)  # warm
+        started = perf_counter()
+        for _ in range(rounds):
+            run_topk(context, "hybrid", QUERY, K)
+        off_seconds = (perf_counter() - started) / rounds
+    finally:
+        REGISTRY.enabled = True
+
+    result = benchmark(run_topk, context, "hybrid", QUERY, K)
+    assert result.answers
+    on_seconds = benchmark.stats.stats.median
+
+    benchmark.extra_info["metrics_off_seconds"] = off_seconds
+    benchmark.extra_info["metrics_on_seconds"] = on_seconds
+    benchmark.extra_info["metrics_on_over_off"] = (
+        on_seconds / off_seconds if off_seconds > 0 else 0.0
+    )

@@ -29,7 +29,16 @@ from repro.errors import (
     XMLParseError,
 )
 from repro.ir import IREngine, parse_ftexpr
-from repro.obs import NULL_TRACER, QueryTrace, Tracer
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    QueryTrace,
+    SlowQueryLog,
+    Tracer,
+    disable_slow_query_log,
+    enable_slow_query_log,
+    get_registry,
+)
 from repro.query import TPQ, parse_query
 from repro.rank import (
     COMBINED,
@@ -39,7 +48,15 @@ from repro.rank import (
     ScoredAnswer,
 )
 from repro.relax import PenaltyModel, RelaxationSchedule, WeightAssignment
-from repro.topk import DPO, SSO, Hybrid, QueryContext, TopKResult
+from repro.topk import (
+    DPO,
+    SSO,
+    Hybrid,
+    IRFirstDPO,
+    NaiveRewriting,
+    QueryContext,
+    TopKResult,
+)
 from repro.xmltree import Document, build_document, element, parse, parse_file
 
 __version__ = "1.0.0"
@@ -57,10 +74,13 @@ __all__ = [
     "FleXPathError",
     "Hybrid",
     "IREngine",
+    "IRFirstDPO",
     "InvalidQueryError",
     "InvalidRelaxationError",
     "KEYWORD_FIRST",
+    "MetricsRegistry",
     "NULL_TRACER",
+    "NaiveRewriting",
     "PenaltyModel",
     "QueryContext",
     "QueryParseError",
@@ -69,13 +89,17 @@ __all__ = [
     "SSO",
     "STRUCTURE_FIRST",
     "ScoredAnswer",
+    "SlowQueryLog",
     "TPQ",
     "TopKResult",
     "Tracer",
     "WeightAssignment",
     "XMLParseError",
     "build_document",
+    "disable_slow_query_log",
     "element",
+    "enable_slow_query_log",
+    "get_registry",
     "parse",
     "parse_file",
     "parse_ftexpr",

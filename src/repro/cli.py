@@ -9,6 +9,7 @@ Commands:
 - ``generate``            emit an XMark-like document to stdout or a file
 - ``stats FILE``          document and tag statistics
 - ``dump FILE OUT``       convert a document to the columnar dump format
+- ``metrics FILE``        run a workload and dump the metrics registry
 
 ``FILE`` may be either an XML file or a ``flexpath-doc`` dump (sniffed
 from the first line) — dumps skip the XML parser entirely on load.
@@ -18,13 +19,15 @@ Examples::
     python -m repro generate --size-kb 200 --seed 7 -o auctions.xml
     python -m repro query auctions.xml '//item[./description/parlist]' -k 5
     python -m repro explain auctions.xml '//item[./mailbox/mail/text]'
-    python -m repro explain --analyze auctions.xml '//item[./description]'
+    python -m repro explain --analyze --json auctions.xml '//item[./description]'
     python -m repro search auctions.xml '"gold" and "vintage"' -k 3
+    python -m repro metrics auctions.xml --count 20 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.engine import FleXPath
@@ -46,7 +49,7 @@ def build_parser():
     query.add_argument("-k", type=int, default=10, help="answers to return")
     query.add_argument(
         "--algorithm",
-        choices=("dpo", "sso", "hybrid"),
+        choices=("dpo", "sso", "hybrid", "naive", "ir-first"),
         default="hybrid",
     )
     query.add_argument(
@@ -77,8 +80,13 @@ def build_parser():
         " time and counter breakdown",
     )
     explain.add_argument(
+        "--json", action="store_true",
+        help="with --analyze, print the trace as JSON"
+        " (QueryTrace.as_dict()) instead of the human rendering",
+    )
+    explain.add_argument(
         "--algorithm",
-        choices=("dpo", "sso", "hybrid"),
+        choices=("dpo", "sso", "hybrid", "naive", "ir-first"),
         default="hybrid",
         help="algorithm to analyze (only with --analyze)",
     )
@@ -114,6 +122,44 @@ def build_parser():
     dump.add_argument(
         "--format-version", type=int, choices=(1, 2), default=2,
         help="dump format version (2 = interned tag dictionary)",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a workload and dump the process metrics registry",
+    )
+    metrics.add_argument("file", help="XML document (or a dump)")
+    metrics.add_argument(
+        "--workload", default=None, metavar="WL",
+        help="file with one query per line (blank lines and # comments"
+        " skipped); default: auto-generate from the document",
+    )
+    metrics.add_argument(
+        "--count", type=int, default=10, metavar="N",
+        help="queries to auto-generate when no workload file is given",
+    )
+    metrics.add_argument("-k", type=int, default=10, help="answers per query")
+    metrics.add_argument(
+        "--algorithm",
+        choices=("dpo", "sso", "hybrid", "naive", "ir-first"),
+        default="hybrid",
+    )
+    metrics.add_argument(
+        "--scheme",
+        choices=("structure-first", "keyword-first", "combined"),
+        default="structure-first",
+    )
+    metrics.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the auto-generated workload",
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="dump the registry as JSON (default: Prometheus text format)",
+    )
+    metrics.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="also enable the slow-query log at this threshold",
     )
 
     return parser
@@ -170,6 +216,8 @@ def _dispatch(args, out):
         return _cmd_search(engine, args, out)
     if args.command == "stats":
         return _cmd_stats(engine, args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(engine, args, out)
     raise FleXPathError("unknown command %r" % args.command)
 
 
@@ -209,6 +257,16 @@ def _cmd_query(engine, args, out):
 
 
 def _cmd_explain(engine, args, out):
+    if args.analyze and args.json:
+        trace = engine.query(
+            args.query,
+            k=args.k,
+            scheme=args.scheme,
+            algorithm=args.algorithm,
+            trace=True,
+        )
+        print(json.dumps(trace.as_dict(), indent=2), file=out)
+        return 0
     print(engine.explain(args.query, k=args.k, scheme=args.scheme), file=out)
     if args.analyze:
         trace = engine.query(
@@ -299,6 +357,49 @@ def _cmd_stats(engine, args, out):
     print("\nmost frequent tags:", file=out)
     for count, tag in counts[: args.tags]:
         print("  %-20s %6d" % (tag, count), file=out)
+    return 0
+
+
+def _cmd_metrics(engine, args, out):
+    from repro.obs.metrics import get_registry
+    from repro.obs.slowlog import SlowQueryLog
+    from repro.workload import generate_workload
+
+    registry = get_registry()
+    registry.reset()  # the dump should describe this workload run only
+    slowlog = None
+    if args.slow_ms is not None:
+        slowlog = SlowQueryLog(slow_ms=args.slow_ms).install()
+    if args.workload:
+        with open(args.workload, "r", encoding="utf-8") as handle:
+            lines = [line.strip() for line in handle]
+        queries = [line for line in lines if line and not line.startswith("#")]
+    else:
+        queries = generate_workload(
+            engine.document, args.count, seed=args.seed
+        )
+    failures = 0
+    try:
+        for item in queries:
+            try:
+                engine.query(
+                    item, k=args.k,
+                    scheme=args.scheme, algorithm=args.algorithm,
+                )
+            except FleXPathError:
+                failures += 1
+    finally:
+        if slowlog is not None:
+            slowlog.uninstall()
+    if args.json:
+        print(json.dumps(registry.as_dict(), indent=2), file=out)
+    else:
+        out.write(registry.expose_text())
+    if failures:
+        print(
+            "# %d of %d workload quer(ies) failed" % (failures, len(queries)),
+            file=sys.stderr,
+        )
     return 0
 
 

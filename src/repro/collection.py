@@ -16,8 +16,11 @@ plus the helpers to recover which source document an answer came from.
 from __future__ import annotations
 
 import bisect
+from time import perf_counter
 
 from repro.errors import FleXPathError
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import NULL_TRACER
 from repro.xmltree.builder import TreeBuilder
 from repro.xmltree.parser import parse
@@ -65,6 +68,7 @@ class Corpus:
         if name is None:
             name = "doc%d" % len(self._names)
         tracer = self._tracer
+        started = perf_counter()
         with tracer.span("corpus.splice"):
             start_id = self._document.append_fragment(document, parent_id=0)
         end_id = start_id + len(document)
@@ -76,6 +80,26 @@ class Corpus:
         with tracer.span("corpus.extend_subscribers"):
             for callback in self._listeners:
                 callback(self, start_id, end_id)
+        seconds = perf_counter() - started
+        if REGISTRY.enabled:
+            REGISTRY.inc_many(
+                {
+                    "corpus.documents_added": 1,
+                    "corpus.nodes_added": end_id - start_id,
+                }
+            )
+            REGISTRY.observe("corpus.ingest_seconds", seconds)
+            REGISTRY.set_gauge("corpus.documents", len(self._names))
+        if HUB.active:
+            HUB.emit(
+                "doc_ingested",
+                {
+                    "name": name,
+                    "nodes": end_id - start_id,
+                    "seconds": seconds,
+                    "documents": len(self._names),
+                },
+            )
         return self._document.node(start_id)
 
     def add_text(self, text, name=None):

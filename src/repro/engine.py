@@ -24,6 +24,8 @@ from __future__ import annotations
 from time import perf_counter
 
 from repro.errors import FleXPathError
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
 from repro.obs.trace import build_query_trace
 from repro.obs.tracer import Tracer
 from repro.query.parser import parse_query
@@ -33,11 +35,19 @@ from repro.relax.penalties import UNIFORM_WEIGHTS
 from repro.topk.base import QueryContext
 from repro.topk.dpo import DPO
 from repro.topk.hybrid import Hybrid
+from repro.topk.ir_first import IRFirstDPO
+from repro.topk.naive import NaiveRewriting
 from repro.topk.sso import SSO
 from repro.xmltree.parser import parse as parse_xml
 from repro.xmltree.parser import parse_file as parse_xml_file
 
-_ALGORITHMS = {"dpo": DPO, "sso": SSO, "hybrid": Hybrid}
+_ALGORITHMS = {
+    "dpo": DPO,
+    "sso": SSO,
+    "hybrid": Hybrid,
+    "naive": NaiveRewriting,
+    "ir-first": IRFirstDPO,
+}
 
 DEFAULT_ALGORITHM = "hybrid"
 
@@ -118,7 +128,7 @@ class FleXPath:
             k: how many answers to return.
             scheme: a ranking scheme object or name ("structure-first",
                 "keyword-first", "combined").
-            algorithm: "dpo", "sso", or "hybrid".
+            algorithm: "dpo", "sso", "hybrid", "naive", or "ir-first".
             max_relaxations: cap on relaxation schedule length (None = all).
             trace: when True, evaluate with tracing on and return a
                 :class:`~repro.obs.QueryTrace` (the result is its
@@ -138,21 +148,62 @@ class FleXPath:
                 "unknown algorithm %r (choose from %s)"
                 % (algorithm, ", ".join(sorted(_ALGORITHMS)))
             ) from None
-        if not trace:
-            return strategy.top_k(
-                tpq, k, scheme=scheme, max_relaxations=max_relaxations
+        query_text = query if isinstance(query, str) else tpq.to_xpath()
+        if HUB.active:
+            HUB.emit(
+                "query_start",
+                {
+                    "query": query_text,
+                    "k": k,
+                    "algorithm": strategy.name,
+                    "scheme": scheme.name,
+                    "traced": bool(trace),
+                },
             )
-        tracer = Tracer()
-        self._context.attach_tracer(tracer)
         started = perf_counter()
+        query_trace = None
         try:
-            result = strategy.top_k(
-                tpq, k, scheme=scheme, max_relaxations=max_relaxations,
-                tracer=tracer,
+            if not trace:
+                result = strategy.top_k(
+                    tpq, k, scheme=scheme, max_relaxations=max_relaxations
+                )
+            else:
+                tracer = Tracer()
+                self._context.attach_tracer(tracer)
+                try:
+                    result = strategy.top_k(
+                        tpq, k, scheme=scheme,
+                        max_relaxations=max_relaxations, tracer=tracer,
+                    )
+                finally:
+                    self._context.attach_tracer(None)
+                query_trace = build_query_trace(
+                    result, tracer, perf_counter() - started
+                )
+        except Exception:
+            REGISTRY.inc("query.errors")
+            raise
+        seconds = perf_counter() - started
+        if REGISTRY.enabled:
+            REGISTRY.inc("query.count")
+            REGISTRY.observe("query.seconds", seconds)
+        if HUB.active:
+            HUB.emit(
+                "query_end",
+                {
+                    "query": query_text,
+                    "k": k,
+                    "algorithm": result.algorithm,
+                    "scheme": scheme.name,
+                    "seconds": seconds,
+                    "levels_evaluated": result.levels_evaluated,
+                    "relaxations_used": result.relaxations_used,
+                    "answers": len(result.answers),
+                    "result": result,
+                    "trace": query_trace,
+                },
             )
-        finally:
-            self._context.attach_tracer(None)
-        return build_query_trace(result, tracer, perf_counter() - started)
+        return query_trace if trace else result
 
     def exact(self, query):
         """Evaluate with strict XPath semantics — no relaxation.
@@ -163,8 +214,46 @@ class FleXPath:
         from repro.query.evaluate import evaluate
 
         tpq = self._coerce_query(query)
+        query_text = query if isinstance(query, str) else tpq.to_xpath()
+        if HUB.active:
+            HUB.emit(
+                "query_start",
+                {
+                    "query": query_text,
+                    "k": None,
+                    "algorithm": "exact",
+                    "scheme": None,
+                    "traced": False,
+                },
+            )
+        started = perf_counter()
         oracle = self._contains_oracle()
-        return evaluate(tpq, self.document, contains_oracle=oracle)
+        try:
+            nodes = evaluate(tpq, self.document, contains_oracle=oracle)
+        except Exception:
+            REGISTRY.inc("query.errors")
+            raise
+        seconds = perf_counter() - started
+        if REGISTRY.enabled:
+            REGISTRY.inc("exact.count")
+            REGISTRY.observe("exact.seconds", seconds)
+        if HUB.active:
+            HUB.emit(
+                "query_end",
+                {
+                    "query": query_text,
+                    "k": None,
+                    "algorithm": "exact",
+                    "scheme": None,
+                    "seconds": seconds,
+                    "levels_evaluated": None,
+                    "relaxations_used": None,
+                    "answers": len(nodes),
+                    "result": nodes,
+                    "trace": None,
+                },
+            )
+        return nodes
 
     def keyword_search(self, ftexpr_text, k=10):
         """Pure content-only search — the Q6 extreme of the spectrum.

@@ -21,6 +21,7 @@ from repro.ir.index import InvertedIndex
 from repro.ir.matching import ftexpr_matches
 from repro.ir.scoring import positive_terms, score_subtree
 from repro.ir.tokenizer import normalize_term
+from repro.obs.events import HUB
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -56,6 +57,13 @@ class IREngine:
         self._most_specific_cache = {}
         self._terms_cache = {}
         self._count_cache = {}
+        # Always-on lifetime counters: plain unsynchronized ints, folded
+        # into the process MetricsRegistry per query (see metrics_snapshot).
+        self._m_cache_hits = 0
+        self._m_cache_misses = 0
+        self._m_postings_scanned = 0
+        self._m_satisfies_calls = 0
+        self._m_score_calls = 0
 
     @property
     def document(self):
@@ -79,6 +87,39 @@ class IREngine:
         """
         self._tracer = tracer if tracer is not None else NULL_TRACER
 
+    # -- lifetime metrics --------------------------------------------------------
+
+    def metrics_snapshot(self):
+        """Lifetime counter values, keyed like the process registry.
+
+        The counters are plain ints bumped unconditionally on the hot
+        paths (an attribute increment costs far less than the postings
+        probe it annotates); callers fold *deltas* between two snapshots
+        into the shared :class:`~repro.obs.MetricsRegistry`, which is
+        where the locking lives.
+        """
+        return {
+            "ir.cache_hits": self._m_cache_hits,
+            "ir.cache_misses": self._m_cache_misses,
+            "ir.postings_scanned": self._m_postings_scanned,
+            "ir.satisfies_calls": self._m_satisfies_calls,
+            "ir.score_calls": self._m_score_calls,
+        }
+
+    def _cache_hit(self, cache):
+        self._m_cache_hits += 1
+        if self._tracer.enabled:
+            self._tracer.count("ir.cache_hits")
+        if HUB.active:
+            HUB.emit("cache_hit", {"engine": "ir", "cache": cache})
+
+    def _cache_miss(self, cache):
+        self._m_cache_misses += 1
+        if self._tracer.enabled:
+            self._tracer.count("ir.cache_misses")
+        if HUB.active:
+            HUB.emit("cache_miss", {"engine": "ir", "cache": cache})
+
     # -- incremental corpus growth ---------------------------------------------
 
     def extend(self, start_id, end_id=None):
@@ -98,12 +139,14 @@ class IREngine:
 
     def satisfies(self, node, expression):
         """True if the subtree of ``node`` satisfies the expression."""
+        self._m_satisfies_calls += 1
         if self._tracer.enabled:
             self._tracer.count("ir.satisfies_calls")
         return self._satisfies_region(expression, node.start, node.end)
 
     def score(self, node, expression):
         """Keyword score of ``node`` for the expression, in [0, 1]."""
+        self._m_score_calls += 1
         if self._tracer.enabled:
             self._tracer.count("ir.score_calls")
         terms = self._positive_terms(expression)
@@ -119,11 +162,9 @@ class IREngine:
         ties broken by document order.
         """
         if expression in self._most_specific_cache:
-            if self._tracer.enabled:
-                self._tracer.count("ir.cache_hits")
+            self._cache_hit("most_specific")
             return self._most_specific_cache[expression]
-        if self._tracer.enabled:
-            self._tracer.count("ir.cache_misses")
+        self._cache_miss("most_specific")
         candidates = self._candidate_nodes(expression)
         satisfying = [
             node
@@ -155,11 +196,9 @@ class IREngine:
         """
         key = (expression, tag)
         if key in self._count_cache:
-            if self._tracer.enabled:
-                self._tracer.count("ir.cache_hits")
+            self._cache_hit("count")
             return self._count_cache[key]
-        if self._tracer.enabled:
-            self._tracer.count("ir.cache_misses")
+        self._cache_miss("count")
         if tag is None:
             pool = self._document.nodes()
         else:
@@ -192,6 +231,7 @@ class IREngine:
             normalized = normalize_term(expression.word)
             if normalized is None:
                 return False
+            self._m_postings_scanned += 1
             if self._tracer.enabled:
                 self._tracer.count("ir.postings_scanned")
             posting = self._index.posting(normalized)
@@ -227,8 +267,7 @@ class IREngine:
         positional constraint is unsatisfiable by construction).
         """
         if expression in self._local_match_cache:
-            if self._tracer.enabled:
-                self._tracer.count("ir.cache_hits")
+            self._cache_hit("local_match")
             return self._local_match_cache[expression]
         words = [normalize_term(word) for word in expression.terms()]
         words = [word for word in words if word is not None]
@@ -238,10 +277,10 @@ class IREngine:
                 "%s %s consists entirely of stop words and can never match"
                 % (kind, expression)
             )
-        if self._tracer.enabled:
-            self._tracer.count("ir.cache_misses")
+        self._cache_miss("local_match")
         candidate_ids = None
         for word in words:
+            self._m_postings_scanned += 1
             if self._tracer.enabled:
                 self._tracer.count("ir.postings_scanned")
             posting = self._index.posting(word)

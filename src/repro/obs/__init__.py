@@ -1,22 +1,56 @@
-"""Observability: tracing and metrics for the whole query path.
+"""Observability: tracing, metrics, and event hooks for the query path.
 
-``repro.obs`` is the zero-overhead-when-off telemetry layer: a
-:class:`Tracer` collects named span timings and counters, the executor and
-IR engine report into it when one is attached, and
-:class:`QueryTrace` is the structured result surfaced by
-``FleXPath.query(..., trace=True)``, the CLI's ``explain --analyze``, and
-the benchmark harness' per-phase JSON aggregates.
+``repro.obs`` has two telemetry planes with one shared principle — zero
+overhead when nothing is watching:
+
+- **Per-activity tracing** (opt-in): a :class:`Tracer` collects named span
+  timings and counters for one traced query or ingest;
+  :class:`QueryTrace` is the structured result surfaced by
+  ``FleXPath.query(..., trace=True)``, the CLI's ``explain --analyze``,
+  and the benchmark harness' per-phase JSON aggregates.
+- **Process-lifetime metrics and events** (always-on): the
+  :class:`MetricsRegistry` aggregates counters/gauges/latency histograms
+  across every query the process serves, and the :class:`EventHub` fires
+  SQLAlchemy-style listeners (``on("query_end", fn)``) at the fixed
+  instrumentation seams.  The built-in :class:`SlowQueryLog` is a stock
+  consumer of those events.
 """
 
+from repro.obs.events import EVENTS, EventHub, HUB, off, on
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    disable_slow_query_log,
+    enable_slow_query_log,
+)
 from repro.obs.trace import PHASES, LevelTrace, QueryTrace, build_query_trace
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "BUCKET_BOUNDS",
+    "EVENTS",
+    "EventHub",
+    "HUB",
+    "Histogram",
     "LevelTrace",
+    "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PHASES",
     "QueryTrace",
+    "REGISTRY",
+    "SlowQueryLog",
     "Tracer",
     "build_query_trace",
+    "disable_slow_query_log",
+    "enable_slow_query_log",
+    "get_registry",
+    "off",
+    "on",
 ]

@@ -1,0 +1,142 @@
+"""SQLAlchemy-style event hooks at the query path's fixed seams.
+
+SQLAlchemy instruments its engine with listeners at a handful of fixed
+points (``before_cursor_execute`` / ``after_cursor_execute``, pool
+checkouts); FleXPath does the same with a process-wide :class:`EventHub`
+and six event names:
+
+==================  =========================================================
+``query_start``     a ``FleXPath.query``/``exact`` call begins
+``query_end``       it finished (payload carries wall time, levels, answers)
+``level_executed``  one plan execution completed (DPO runs one per level,
+                    SSO/Hybrid one per restart)
+``cache_hit``       an IR-engine expression cache probe hit
+``cache_miss``      ... or missed
+``doc_ingested``    a document was spliced into a :class:`Corpus`
+==================  =========================================================
+
+Listeners are plain callables taking one dict payload::
+
+    from repro.obs import on, off
+
+    def watch(payload):
+        print(payload["algorithm"], payload["seconds"])
+
+    on("query_end", watch)
+    ...
+    off("query_end", watch)
+
+The no-listener fast path mirrors :data:`~repro.obs.tracer.NULL_TRACER`'s
+zero-overhead design: instrumented seams gate on the hub's ``active``
+attribute (a plain bool maintained by ``on``/``off``), so with nothing
+subscribed a hot path pays one attribute check and nothing else.
+Listeners run synchronously on the emitting thread, in subscription
+order; a listener that raises propagates to the caller (as in SQLAlchemy
+— a broken listener should be loud, not silently unhooked).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FleXPathError
+
+#: Every event the instrumented seams emit, in rough pipeline order.
+EVENTS = (
+    "query_start",
+    "query_end",
+    "level_executed",
+    "cache_hit",
+    "cache_miss",
+    "doc_ingested",
+)
+
+
+class EventHub:
+    """Dispatches named events to subscribed listeners.
+
+    ``active`` is True while *any* listener is subscribed — the one
+    attribute hot seams check before building a payload.  Subscription is
+    validated against :data:`EVENTS`; unknown names raise
+    :class:`~repro.errors.FleXPathError` immediately rather than silently
+    never firing.
+    """
+
+    def __init__(self):
+        self._listeners = {name: [] for name in EVENTS}
+        self.active = False
+
+    def on(self, event, listener):
+        """Subscribe ``listener(payload)`` to the named event."""
+        self._check(event)
+        if not callable(listener):
+            raise FleXPathError("listener for %r is not callable" % event)
+        self._listeners[event].append(listener)
+        self.active = True
+        return listener
+
+    def off(self, event, listener):
+        """Unsubscribe a listener; unknown listeners are ignored."""
+        self._check(event)
+        try:
+            self._listeners[event].remove(listener)
+        except ValueError:
+            pass
+        self.active = any(self._listeners.values())
+
+    def emit(self, event, payload):
+        """Deliver ``payload`` to the event's listeners, in order.
+
+        Callers on hot paths must gate on ``hub.active`` first; ``emit``
+        itself only checks the per-event list, so a cold call with no
+        listeners is still just a dict lookup.
+        """
+        try:
+            listeners = self._listeners[event]
+        except KeyError:
+            self._check(event)
+            raise  # unreachable: _check raised already
+        for listener in listeners:
+            listener(payload)
+
+    def has(self, event):
+        """True when the named event has at least one listener."""
+        self._check(event)
+        return bool(self._listeners[event])
+
+    def listeners(self, event):
+        """The event's current listeners (a copy)."""
+        self._check(event)
+        return list(self._listeners[event])
+
+    def clear(self):
+        """Drop every listener (test/shutdown helper)."""
+        for listeners in self._listeners.values():
+            listeners.clear()
+        self.active = False
+
+    def _check(self, event):
+        if event not in self._listeners:
+            raise FleXPathError(
+                "unknown event %r (choose from %s)"
+                % (event, ", ".join(EVENTS))
+            )
+
+    def __repr__(self):
+        return "EventHub(%s)" % ", ".join(
+            "%s=%d" % (name, len(listeners))
+            for name, listeners in self._listeners.items()
+            if listeners
+        )
+
+
+#: The process-wide hub every instrumented seam emits into.
+HUB = EventHub()
+
+
+def on(event, listener):
+    """Subscribe ``listener(payload)`` to an event on the process hub."""
+    return HUB.on(event, listener)
+
+
+def off(event, listener):
+    """Unsubscribe a listener from an event on the process hub."""
+    HUB.off(event, listener)

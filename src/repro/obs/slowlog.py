@@ -1,0 +1,101 @@
+"""The built-in slow-query log — a stock consumer of the event hub.
+
+A served FleXPath needs to answer "which queries are hurting us?" without
+anyone having attached a tracer in advance.  :class:`SlowQueryLog`
+subscribes to ``query_end`` and emits one structured :mod:`logging` record
+(logger ``repro.slowlog``) whenever a query's wall time crosses a
+configurable ``slow_ms`` threshold.  The record's message carries the
+headline facts; the machine-readable payload rides on the record as the
+``flexpath`` attribute, so a JSON log formatter can serialize it whole::
+
+    {"query": "//item[./description]", "algorithm": "Hybrid",
+     "scheme": "structure-first", "k": 10, "seconds": 0.213,
+     "levels_evaluated": 3, "relaxations_used": 2, "answers": 10,
+     "phases": {...}}          # phases present only for traced queries
+
+Nothing is installed by default — the hub's no-listener fast path stays
+intact until :func:`enable_slow_query_log` is called (or the CLI is run
+with ``--slow-ms``).
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.events import HUB
+
+logger = logging.getLogger("repro.slowlog")
+
+
+class SlowQueryLog:
+    """Logs queries slower than ``slow_ms`` milliseconds.
+
+    One instance subscribes to one hub's ``query_end`` via
+    :meth:`install`; :meth:`uninstall` detaches it.  ``slow_ms`` may be
+    adjusted on a live instance.
+    """
+
+    def __init__(self, slow_ms=100.0, log=None, hub=None):
+        self.slow_ms = slow_ms
+        self._log = log if log is not None else logger
+        self._hub = hub if hub is not None else HUB
+        self._installed = False
+
+    def install(self):
+        """Subscribe to ``query_end``; idempotent."""
+        if not self._installed:
+            self._hub.on("query_end", self._on_query_end)
+            self._installed = True
+        return self
+
+    def uninstall(self):
+        """Unsubscribe; idempotent."""
+        if self._installed:
+            self._hub.off("query_end", self._on_query_end)
+            self._installed = False
+
+    @property
+    def installed(self):
+        return self._installed
+
+    def _on_query_end(self, payload):
+        seconds = payload.get("seconds", 0.0)
+        if seconds * 1000.0 < self.slow_ms:
+            return
+        detail = {
+            "query": payload.get("query"),
+            "algorithm": payload.get("algorithm"),
+            "scheme": payload.get("scheme"),
+            "k": payload.get("k"),
+            "seconds": seconds,
+            "levels_evaluated": payload.get("levels_evaluated"),
+            "relaxations_used": payload.get("relaxations_used"),
+            "answers": payload.get("answers"),
+        }
+        trace = payload.get("trace")
+        if trace is not None:
+            detail["phases"] = trace.phase_aggregates()
+        self._log.warning(
+            "slow query (%.1f ms, %s/%s, %s level(s)): %s",
+            seconds * 1000.0,
+            detail["algorithm"],
+            detail["scheme"],
+            detail["levels_evaluated"],
+            detail["query"],
+            extra={"flexpath": detail},
+        )
+
+
+#: The module-level instance enable/disable manage.
+_DEFAULT_LOG = SlowQueryLog()
+
+
+def enable_slow_query_log(slow_ms=100.0):
+    """Install the built-in slow-query log with the given threshold."""
+    _DEFAULT_LOG.slow_ms = slow_ms
+    return _DEFAULT_LOG.install()
+
+
+def disable_slow_query_log():
+    """Uninstall the built-in slow-query log."""
+    _DEFAULT_LOG.uninstall()

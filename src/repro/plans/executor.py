@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import asdict, dataclass
 
+from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import NULL_TRACER
 from repro.rank.schemes import STRUCTURE_FIRST
 from repro.rank.scores import AnswerScore, ScoredAnswer
@@ -229,6 +230,17 @@ class PlanExecutor:
 
         with tracer.span("collect"):
             answers = self._collect(plan, tuples, var_positions, scheme, stats)
+        if REGISTRY.enabled:
+            # Fold this run's counters into the process registry: additive
+            # fields become counters; max_intermediate is a high-water mark.
+            folded = {"executor.plans_executed": 1}
+            for key, value in stats.as_dict().items():
+                if value and key != "max_intermediate":
+                    folded["executor." + key] = value
+            REGISTRY.inc_many(folded)
+            REGISTRY.set_gauge_max(
+                "executor.max_intermediate", stats.max_intermediate
+            )
         return ExecutionResult(answers=answers, stats=stats)
 
     # -- phases -----------------------------------------------------------------

@@ -10,8 +10,11 @@ is what makes their benchmark comparison apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.ir.engine import IREngine
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
 from repro.obs.trace import LevelTrace
 from repro.obs.tracer import Tracer
 from repro.plans.executor import PlanExecutor
@@ -120,6 +123,50 @@ class TopKResult:
         )
 
 
+def begin_topk_metrics(context):
+    """Open a metrics window for one ``top_k`` call.
+
+    Returns an opaque token for :func:`record_topk_metrics`, or None when
+    the process registry is disabled — the disabled path costs one
+    attribute check, mirroring ``NULL_TRACER``.  The token captures the
+    start time and the IR engine's lifetime counters so only this query's
+    *deltas* get folded into the shared registry.
+    """
+    if not REGISTRY.enabled:
+        return None
+    return (perf_counter(), context.ir.metrics_snapshot())
+
+
+def record_topk_metrics(context, result, token):
+    """Close a metrics window: fold one evaluation into the registry.
+
+    Records, per algorithm, the query count, levels explored, answers
+    returned, restarts, and a wall-time histogram — plus the IR engine's
+    cache and postings deltas accumulated while the window was open.
+    Returns ``result`` so strategies can fold this into their return
+    statement.
+    """
+    if token is None:
+        return result
+    started, ir_before = token
+    seconds = perf_counter() - started
+    algorithm = result.algorithm.lower()
+    folded = {
+        "topk.%s.queries" % algorithm: 1,
+        "topk.%s.levels_evaluated" % algorithm: result.levels_evaluated,
+        "topk.%s.answers_returned" % algorithm: len(result.answers),
+    }
+    if result.restarts:
+        folded["topk.%s.restarts" % algorithm] = result.restarts
+    for key, value in context.ir.metrics_snapshot().items():
+        delta = value - ir_before[key]
+        if delta:
+            folded[key] = delta
+    REGISTRY.inc_many(folded)
+    REGISTRY.observe("topk.%s.seconds" % algorithm, seconds)
+    return result
+
+
 def run_plan_traced(context, plan, label, tracer, traces, **kwargs):
     """Execute one plan, capturing a per-level trace when tracing is on.
 
@@ -127,9 +174,17 @@ def run_plan_traced(context, plan, label, tracer, traces, **kwargs):
     against a fresh per-level :class:`Tracer` whose spans are merged into
     the query-wide one and recorded as a :class:`LevelTrace` in ``traces``;
     with the null tracer this is exactly one extra ``enabled`` check.
+    This is also the ``level_executed`` event seam — one emission per plan
+    execution, gated on the hub's no-listener fast path.
     """
     if not tracer.enabled:
-        return context.executor.run(plan, **kwargs)
+        result = context.executor.run(plan, **kwargs)
+        if HUB.active:
+            HUB.emit(
+                "level_executed",
+                {"label": label, "stats": result.stats.as_dict()},
+            )
+        return result
     level_tracer = Tracer()
     result = context.executor.run(plan, tracer=level_tracer, **kwargs)
     tracer.merge(level_tracer)
@@ -140,6 +195,11 @@ def run_plan_traced(context, plan, label, tracer, traces, **kwargs):
             stats=result.stats,
         )
     )
+    if HUB.active:
+        HUB.emit(
+            "level_executed",
+            {"label": label, "stats": result.stats.as_dict()},
+        )
     return result
 
 

@@ -25,7 +25,13 @@ from repro.plans.executor import STRICT
 from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
-from repro.topk.base import TopKResult, combined_level_cutoff, run_plan_traced
+from repro.topk.base import (
+    TopKResult,
+    begin_topk_metrics,
+    combined_level_cutoff,
+    record_topk_metrics,
+    run_plan_traced,
+)
 
 
 class DPO:
@@ -40,6 +46,7 @@ class DPO:
               tracer=NULL_TRACER):
         """Return the top-K answers of ``query`` under ``scheme``."""
         context = self._context
+        metrics_token = begin_topk_metrics(context)
         with tracer.span("schedule"):
             schedule = context.schedule(query, max_steps=max_relaxations)
         contains_count = len(query.contains)
@@ -103,7 +110,7 @@ class DPO:
                     cutoff = level  # structure-first: stop right here
 
         answers = rank_answers(collected, scheme, k)
-        return TopKResult(
+        result = TopKResult(
             algorithm=self.name,
             query=query,
             k=k,
@@ -114,3 +121,4 @@ class DPO:
             stats=stats,
             traces=traces,
         )
+        return record_topk_metrics(context, result, metrics_token)

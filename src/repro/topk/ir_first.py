@@ -26,7 +26,13 @@ from repro.plans.executor import STRICT
 from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
-from repro.topk.base import TopKResult, combined_level_cutoff, run_plan_traced
+from repro.topk.base import (
+    TopKResult,
+    begin_topk_metrics,
+    combined_level_cutoff,
+    record_topk_metrics,
+    run_plan_traced,
+)
 
 
 class IRFirstDPO:
@@ -69,6 +75,7 @@ class IRFirstDPO:
     def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
               tracer=NULL_TRACER):
         context = self._context
+        metrics_token = begin_topk_metrics(context)
         with tracer.span("schedule"):
             schedule = context.schedule(query, max_steps=max_relaxations)
         contains_count = len(query.contains)
@@ -130,7 +137,7 @@ class IRFirstDPO:
                     cutoff = level
 
         answers = rank_answers(collected, scheme, k)
-        return TopKResult(
+        result = TopKResult(
             algorithm=self.name,
             query=query,
             k=k,
@@ -141,3 +148,4 @@ class IRFirstDPO:
             stats=stats,
             traces=traces,
         )
+        return record_topk_metrics(context, result, metrics_token)

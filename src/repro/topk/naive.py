@@ -22,7 +22,12 @@ from repro.plans.executor import STRICT
 from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
-from repro.topk.base import TopKResult, run_plan_traced
+from repro.topk.base import (
+    TopKResult,
+    begin_topk_metrics,
+    record_topk_metrics,
+    run_plan_traced,
+)
 
 
 class NaiveRewriting:
@@ -36,6 +41,7 @@ class NaiveRewriting:
     def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
               tracer=NULL_TRACER):
         context = self._context
+        metrics_token = begin_topk_metrics(context)
         with tracer.span("schedule"):
             schedule = context.schedule(query, max_steps=max_relaxations)
 
@@ -64,7 +70,7 @@ class NaiveRewriting:
                     collected[answer.node_id] = scored
 
         answers = rank_answers(collected.values(), scheme, k)
-        return TopKResult(
+        result = TopKResult(
             algorithm=self.name,
             query=query,
             k=k,
@@ -75,3 +81,4 @@ class NaiveRewriting:
             stats=stats,
             traces=traces,
         )
+        return record_topk_metrics(context, result, metrics_token)

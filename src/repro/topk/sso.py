@@ -17,7 +17,13 @@ from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import SSO_MODE
 from repro.plans.plan import build_encoded_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
-from repro.topk.base import TopKResult, combined_level_cutoff, run_plan_traced
+from repro.topk.base import (
+    TopKResult,
+    begin_topk_metrics,
+    combined_level_cutoff,
+    record_topk_metrics,
+    run_plan_traced,
+)
 
 
 class SSO:
@@ -54,6 +60,7 @@ class SSO:
               tracer=NULL_TRACER):
         """Return the top-K answers of ``query`` under ``scheme``."""
         context = self._context
+        metrics_token = begin_topk_metrics(context)
         with tracer.span("schedule"):
             schedule = context.schedule(query, max_steps=max_relaxations)
         contains_count = len(query.contains)
@@ -85,7 +92,7 @@ class SSO:
             restarts += 1
 
         answers = rank_answers(result.answers, scheme, k)
-        return TopKResult(
+        outcome = TopKResult(
             algorithm=self.name,
             query=query,
             k=k,
@@ -97,3 +104,4 @@ class SSO:
             stats=stats,
             traces=traces,
         )
+        return record_topk_metrics(context, outcome, metrics_token)

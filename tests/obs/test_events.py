@@ -1,0 +1,155 @@
+"""The event hub and its wiring into the query path."""
+
+import pytest
+
+from repro import FleXPath
+from repro.collection import Corpus
+from repro.errors import FleXPathError
+from repro.obs.events import EVENTS, EventHub, HUB, off, on
+from tests.conftest import LIBRARY_XML
+
+ALL_ALGORITHMS = ("dpo", "sso", "hybrid", "naive", "ir-first")
+
+
+@pytest.fixture(autouse=True)
+def clean_hub():
+    """Every test starts and ends with an idle hub."""
+    HUB.clear()
+    yield
+    HUB.clear()
+
+
+@pytest.fixture()
+def engine():
+    return FleXPath.from_xml(LIBRARY_XML)
+
+
+class TestEventHub:
+    def test_starts_inactive(self):
+        hub = EventHub()
+        assert hub.active is False
+        assert not any(hub.has(event) for event in EVENTS)
+
+    def test_on_activates_off_deactivates(self):
+        hub = EventHub()
+        listener = hub.on("query_end", lambda payload: None)
+        assert hub.active is True
+        assert hub.has("query_end")
+        hub.off("query_end", listener)
+        assert hub.active is False
+
+    def test_unknown_event_raises(self):
+        hub = EventHub()
+        with pytest.raises(FleXPathError, match="unknown event"):
+            hub.on("query_done", lambda payload: None)
+        with pytest.raises(FleXPathError, match="unknown event"):
+            hub.emit("query_done", {})
+
+    def test_non_callable_listener_raises(self):
+        hub = EventHub()
+        with pytest.raises(FleXPathError, match="not callable"):
+            hub.on("query_end", "not a function")
+
+    def test_off_unknown_listener_is_ignored(self):
+        hub = EventHub()
+        hub.off("query_end", lambda payload: None)
+        assert hub.active is False
+
+    def test_emit_delivers_in_subscription_order(self):
+        hub = EventHub()
+        calls = []
+        hub.on("query_end", lambda payload: calls.append("first"))
+        hub.on("query_end", lambda payload: calls.append("second"))
+        hub.emit("query_end", {})
+        assert calls == ["first", "second"]
+
+    def test_listener_exceptions_propagate(self):
+        hub = EventHub()
+
+        def broken(payload):
+            raise RuntimeError("boom")
+
+        hub.on("query_end", broken)
+        with pytest.raises(RuntimeError, match="boom"):
+            hub.emit("query_end", {})
+
+    def test_clear_drops_everything(self):
+        hub = EventHub()
+        hub.on("query_end", lambda payload: None)
+        hub.on("cache_hit", lambda payload: None)
+        hub.clear()
+        assert hub.active is False
+        assert not hub.has("query_end")
+
+
+class TestQueryEvents:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_exactly_one_query_end_per_query(self, engine, algorithm):
+        """The satellite contract: one ``query_end`` per ``FleXPath.query``
+        call, whatever the algorithm."""
+        events = []
+        on("query_end", events.append)
+        result = engine.query(
+            "//article[./section/paragraph]", k=3, algorithm=algorithm
+        )
+        assert len(events) == 1
+        payload = events[0]
+        assert payload["algorithm"] == result.algorithm
+        assert payload["answers"] == len(result.answers)
+        assert payload["seconds"] >= 0.0
+        assert payload["result"] is result
+
+    def test_query_start_precedes_query_end(self, engine):
+        order = []
+        on("query_start", lambda payload: order.append("start"))
+        on("query_end", lambda payload: order.append("end"))
+        engine.query("//article", k=2)
+        assert order == ["start", "end"]
+
+    def test_off_stops_delivery(self, engine):
+        events = []
+        on("query_end", events.append)
+        engine.query("//article", k=2)
+        off("query_end", events.append)
+        engine.query("//article", k=2)
+        assert len(events) == 1
+
+    def test_exact_emits_query_end(self, engine):
+        events = []
+        on("query_end", events.append)
+        nodes = engine.exact("//section")
+        assert len(events) == 1
+        assert events[0]["algorithm"] == "exact"
+        assert events[0]["answers"] == len(nodes)
+
+    def test_traced_query_payload_carries_the_trace(self, engine):
+        events = []
+        on("query_end", events.append)
+        trace = engine.query("//article", k=2, trace=True)
+        assert events[0]["trace"] is trace
+
+    def test_level_executed_fires_per_plan_run(self, engine):
+        levels = []
+        on("level_executed", levels.append)
+        result = engine.query("//article[./section/paragraph]", k=3)
+        assert len(levels) >= result.levels_evaluated
+        assert all("stats" in payload for payload in levels)
+
+    def test_cache_events_fire_for_contains_queries(self, engine):
+        hits, misses = [], []
+        on("cache_hit", hits.append)
+        on("cache_miss", misses.append)
+        engine.query('//article[./section[.contains("XML")]]', k=3)
+        engine.query('//article[./section[.contains("XML")]]', k=3)
+        assert misses  # first evaluation populates the caches
+        assert hits  # second one reuses them
+
+    def test_doc_ingested_fires_on_corpus_add(self):
+        events = []
+        on("doc_ingested", events.append)
+        corpus = Corpus()
+        corpus.add_text("<doc><a>one</a></doc>", name="d0")
+        assert len(events) == 1
+        assert events[0]["name"] == "d0"
+        assert events[0]["nodes"] >= 2
+        assert events[0]["documents"] == 1

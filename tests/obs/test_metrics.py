@@ -1,0 +1,217 @@
+"""The always-on metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro import FleXPath
+from repro.collection import Corpus
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from tests.conftest import LIBRARY_XML
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self, registry):
+        registry.inc("a")
+        registry.inc("a")
+        registry.inc("b", 5)
+        assert registry.counter("a") == 2
+        assert registry.counter("b") == 5
+
+    def test_unknown_counter_reads_zero(self, registry):
+        assert registry.counter("never.touched") == 0
+
+    def test_inc_many_folds_in_one_call(self, registry):
+        registry.inc_many({"a": 2, "b": 3})
+        registry.inc_many({"a": 1})
+        assert registry.counter("a") == 3
+        assert registry.counter("b") == 3
+
+    def test_disabled_registry_ignores_writes(self, registry):
+        registry.enabled = False
+        registry.inc("a")
+        registry.inc_many({"b": 2})
+        registry.observe("h", 0.5)
+        registry.set_gauge("g", 7)
+        assert registry.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "derived": {},
+        }
+
+
+class TestGauges:
+    def test_set_gauge_overwrites(self, registry):
+        registry.set_gauge("g", 3)
+        registry.set_gauge("g", 1)
+        assert registry.gauge("g") == 1
+
+    def test_set_gauge_max_keeps_high_water_mark(self, registry):
+        registry.set_gauge_max("g", 3)
+        registry.set_gauge_max("g", 1)
+        registry.set_gauge_max("g", 9)
+        assert registry.gauge("g") == 9
+
+
+class TestHistograms:
+    def test_bucket_bounds_are_log_scale(self):
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-4)
+        ratios = [
+            BUCKET_BOUNDS[i + 1] / BUCKET_BOUNDS[i]
+            for i in range(len(BUCKET_BOUNDS) - 1)
+        ]
+        assert all(ratio == pytest.approx(2.0) for ratio in ratios)
+
+    def test_observe_tracks_count_sum_min_max(self, registry):
+        registry.observe("h", 0.001)
+        registry.observe("h", 0.004)
+        snapshot = registry.histogram("h")
+        assert snapshot["count"] == 2
+        assert snapshot["sum"] == pytest.approx(0.005)
+        assert snapshot["min"] == pytest.approx(0.001)
+        assert snapshot["max"] == pytest.approx(0.004)
+
+    def test_overflow_bucket_catches_huge_values(self):
+        histogram = Histogram()
+        histogram.observe(1e9)
+        assert histogram.counts[-1] == 1
+
+    def test_timer_observes_elapsed_seconds(self, registry):
+        with registry.timer("h"):
+            pass
+        snapshot = registry.histogram("h")
+        assert snapshot["count"] == 1
+        assert snapshot["sum"] >= 0.0
+
+
+class TestExposition:
+    def test_as_dict_round_trips_through_json(self, registry):
+        registry.inc("query.count", 2)
+        registry.set_gauge("corpus.documents", 1)
+        registry.observe("query.seconds", 0.002)
+        payload = json.loads(json.dumps(registry.as_dict()))
+        assert payload["counters"]["query.count"] == 2
+        assert payload["gauges"]["corpus.documents"] == 1
+        assert payload["histograms"]["query.seconds"]["count"] == 1
+
+    def test_derived_cache_hit_ratio(self, registry):
+        registry.inc("ir.cache_hits", 3)
+        registry.inc("ir.cache_misses", 1)
+        assert registry.as_dict()["derived"]["ir.cache_hit_ratio"] == (
+            pytest.approx(0.75)
+        )
+
+    def test_expose_text_is_prometheus_shaped(self, registry):
+        registry.inc("query.count", 2)
+        registry.observe("query.seconds", 0.002)
+        text = registry.expose_text()
+        assert "# TYPE flexpath_query_count counter" in text
+        assert "flexpath_query_count 2" in text
+        assert "# TYPE flexpath_query_seconds histogram" in text
+        assert 'flexpath_query_seconds_bucket{le="+Inf"} 1' in text
+        assert "flexpath_query_seconds_count 1" in text
+
+    def test_prometheus_buckets_are_cumulative(self, registry):
+        registry.observe("h", BUCKET_BOUNDS[0] / 2)
+        registry.observe("h", BUCKET_BOUNDS[3])
+        lines = [
+            line for line in registry.expose_text().splitlines()
+            if line.startswith("flexpath_h_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2
+
+    def test_reset_clears_everything(self, registry):
+        registry.inc("a")
+        registry.set_gauge("g", 1)
+        registry.observe("h", 0.1)
+        registry.reset()
+        assert registry.as_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "derived": {},
+        }
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self, registry):
+        """The documented contract: one shared lock makes concurrent
+        folds from worker threads exact, not approximate."""
+        threads_count, per_thread = 8, 2500
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.inc("hits")
+                registry.inc_many({"hits": 2, "other": 1})
+                registry.observe("lat", 0.001)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(threads_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("hits") == threads_count * per_thread * 3
+        assert registry.counter("other") == threads_count * per_thread
+        assert (
+            registry.histogram("lat")["count"]
+            == threads_count * per_thread
+        )
+
+
+class TestGlobalRegistry:
+    def test_get_registry_returns_the_process_singleton(self):
+        assert get_registry() is REGISTRY
+
+    def test_query_populates_the_registry(self):
+        engine = FleXPath.from_xml(LIBRARY_XML)
+        REGISTRY.reset()
+        engine.query("//article[./section/paragraph]", k=3)
+        engine.exact("//section")
+        snapshot = REGISTRY.as_dict()
+        assert snapshot["counters"]["query.count"] == 1
+        assert snapshot["counters"]["exact.count"] == 1
+        assert snapshot["counters"]["executor.plans_executed"] >= 1
+        assert snapshot["histograms"]["query.seconds"]["count"] == 1
+        assert any(
+            name.startswith("topk.hybrid.") for name in snapshot["counters"]
+        )
+
+    def test_ir_counters_fold_per_query(self):
+        engine = FleXPath.from_xml(LIBRARY_XML)
+        REGISTRY.reset()
+        engine.query(
+            '//article[./section[.contains("XML")]]', k=3
+        )
+        counters = REGISTRY.as_dict()["counters"]
+        assert counters.get("ir.satisfies_calls", 0) >= 1
+
+    def test_corpus_ingest_is_counted(self):
+        corpus = Corpus()
+        REGISTRY.reset()
+        corpus.add_text("<doc><a>one</a></doc>", name="d0")
+        snapshot = REGISTRY.as_dict()
+        assert snapshot["counters"]["corpus.documents_added"] == 1
+        assert snapshot["counters"]["corpus.nodes_added"] >= 2
+        assert snapshot["gauges"]["corpus.documents"] == 1
+        assert snapshot["histograms"]["corpus.ingest_seconds"]["count"] == 1
+
+    def test_disabled_registry_skips_query_accounting(self):
+        engine = FleXPath.from_xml(LIBRARY_XML)
+        REGISTRY.reset()
+        REGISTRY.enabled = False
+        try:
+            engine.query("//article", k=2)
+        finally:
+            REGISTRY.enabled = True
+        assert REGISTRY.as_dict()["counters"] == {}

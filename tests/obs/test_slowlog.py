@@ -1,0 +1,94 @@
+"""The built-in slow-query log."""
+
+import logging
+
+import pytest
+
+from repro import FleXPath
+from repro.obs.events import HUB
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    disable_slow_query_log,
+    enable_slow_query_log,
+)
+from tests.conftest import LIBRARY_XML
+
+
+@pytest.fixture(autouse=True)
+def clean_hub():
+    HUB.clear()
+    yield
+    HUB.clear()
+
+
+@pytest.fixture()
+def engine():
+    return FleXPath.from_xml(LIBRARY_XML)
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_logs_every_query(self, engine, caplog):
+        slowlog = SlowQueryLog(slow_ms=0.0).install()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+                engine.query("//article[./section]", k=3)
+        finally:
+            slowlog.uninstall()
+        assert len(caplog.records) == 1
+        record = caplog.records[0]
+        assert "slow query" in record.message
+        detail = record.flexpath
+        assert detail["query"] == "//article[./section]"
+        assert detail["algorithm"] == "Hybrid"
+        assert detail["scheme"] == "structure-first"
+        assert detail["k"] == 3
+        assert detail["seconds"] >= 0.0
+        assert detail["levels_evaluated"] >= 1
+
+    def test_high_threshold_stays_silent(self, engine, caplog):
+        slowlog = SlowQueryLog(slow_ms=60_000.0).install()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+                engine.query("//article", k=2)
+        finally:
+            slowlog.uninstall()
+        assert caplog.records == []
+
+    def test_uninstall_stops_logging(self, engine, caplog):
+        slowlog = SlowQueryLog(slow_ms=0.0).install()
+        slowlog.uninstall()
+        with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+            engine.query("//article", k=2)
+        assert caplog.records == []
+        assert not slowlog.installed
+        assert not HUB.active
+
+    def test_install_is_idempotent(self, engine, caplog):
+        slowlog = SlowQueryLog(slow_ms=0.0)
+        slowlog.install()
+        slowlog.install()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+                engine.query("//article", k=2)
+        finally:
+            slowlog.uninstall()
+        assert len(caplog.records) == 1
+
+    def test_traced_query_detail_includes_phases(self, engine, caplog):
+        slowlog = SlowQueryLog(slow_ms=0.0).install()
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+                engine.query("//article[./section]", k=3, trace=True)
+        finally:
+            slowlog.uninstall()
+        assert caplog.records[0].flexpath["phases"]
+
+    def test_module_level_enable_disable(self, engine, caplog):
+        enable_slow_query_log(slow_ms=0.0)
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+                engine.query("//article", k=2)
+        finally:
+            disable_slow_query_log()
+        assert len(caplog.records) == 1
+        assert not HUB.active

@@ -109,3 +109,71 @@ class TestOtherCommands:
     def test_no_command_exits_with_usage(self):
         with pytest.raises(SystemExit):
             run([])
+
+
+class TestExplainJson:
+    def test_analyze_json_is_valid_trace_json(self, xml_file):
+        import json
+
+        code, output = run(
+            [
+                "explain", xml_file, "//article[./section/paragraph]",
+                "--analyze", "--json", "-k", "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["algorithm"]
+        assert payload["levels"]
+        assert payload["phases"]
+        assert "total_seconds" in payload
+
+    def test_json_without_analyze_keeps_human_rendering(self, xml_file):
+        code, output = run(
+            ["explain", xml_file, "//article[./section/paragraph]", "--json"]
+        )
+        assert code == 0
+        assert "level 0" in output
+
+
+class TestMetrics:
+    def test_prometheus_text_output(self, xml_file):
+        code, output = run(["metrics", xml_file, "--count", "3"])
+        assert code == 0
+        assert "# TYPE flexpath_query_count counter" in output
+        assert "flexpath_query_count 3" in output
+        assert "flexpath_query_seconds_bucket" in output
+
+    def test_json_output(self, xml_file):
+        import json
+
+        code, output = run(["metrics", xml_file, "--count", "3", "--json"])
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["counters"]["query.count"] == 3
+        assert payload["histograms"]["query.seconds"]["count"] == 3
+
+    def test_workload_file(self, xml_file, tmp_path):
+        workload = tmp_path / "workload.txt"
+        workload.write_text(
+            "# comment lines and blanks are skipped\n"
+            "\n"
+            "//article\n"
+            "//article[./section/paragraph]\n"
+        )
+        code, output = run(
+            ["metrics", xml_file, "--workload", str(workload), "--json"]
+        )
+        assert code == 0
+        import json
+
+        assert json.loads(output)["counters"]["query.count"] == 2
+
+    def test_slow_ms_uninstalls_after_the_run(self, xml_file):
+        from repro.obs.events import HUB
+
+        code, output = run(
+            ["metrics", xml_file, "--count", "2", "--slow-ms", "60000"]
+        )
+        assert code == 0
+        assert not HUB.active

@@ -1,0 +1,149 @@
+"""The benchmark regression gate (``benchmarks/regress.py``)."""
+
+import io
+import json
+
+import pytest
+
+from benchmarks import regress
+
+
+def benchmark_json(medians):
+    """A minimal pytest-benchmark JSON document with the given medians."""
+    return {
+        "datetime": "2026-01-01T00:00:00",
+        "machine_info": {"python_version": "3.12.0"},
+        "benchmarks": [
+            {
+                "fullname": name,
+                "stats": {
+                    "median": median,
+                    "mean": median,
+                    "stddev": median * 0.01,
+                    "rounds": 10,
+                },
+            }
+            for name, median in medians.items()
+        ],
+    }
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    def write(name, medians):
+        path = tmp_path / name
+        path.write_text(json.dumps(benchmark_json(medians)))
+        return str(path)
+
+    return write
+
+
+BASE = {"bench_a.py::test_fast": 0.010, "bench_a.py::test_slow": 0.200}
+
+
+def run(argv):
+    out = io.StringIO()
+    code = regress.main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestUpdateAndGate:
+    def test_update_writes_then_same_run_passes(self, paths, tmp_path):
+        run_path = paths("run.json", BASE)
+        baseline = str(tmp_path / "baseline.json")
+        code, output = run([run_path, "--baseline", baseline, "--update"])
+        assert code == 0
+        assert "wrote 2 benchmark(s)" in output
+        payload = json.loads(open(baseline).read())
+        assert payload["benchmarks"]["bench_a.py::test_fast"]["median"] == 0.010
+
+        code, output = run([run_path, "--baseline", baseline])
+        assert code == 0
+        assert "2 ok, 0 regressed" in output
+
+    def test_synthetic_slowdown_fails_the_gate(self, paths, tmp_path):
+        """The acceptance criterion: a 2x slowdown must exit non-zero."""
+        baseline = str(tmp_path / "baseline.json")
+        run([paths("base.json", BASE), "--baseline", baseline, "--update"])
+        slowed = {name: median * 2.0 for name, median in BASE.items()}
+        code, output = run([paths("slow.json", slowed), "--baseline", baseline])
+        assert code == 1
+        assert "REGRESSIONS" in output
+
+    def test_within_tolerance_passes(self, paths, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        run([paths("base.json", BASE), "--baseline", baseline, "--update"])
+        nudged = {name: median * 1.15 for name, median in BASE.items()}
+        code, _output = run([paths("ok.json", nudged), "--baseline", baseline])
+        assert code == 0
+
+    def test_tolerance_flag_tightens_the_gate(self, paths, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        run([paths("base.json", BASE), "--baseline", baseline, "--update"])
+        nudged = {name: median * 1.15 for name, median in BASE.items()}
+        code, _output = run(
+            [paths("t.json", nudged), "--baseline", baseline,
+             "--tolerance", "0.05"]
+        )
+        assert code == 1
+
+    def test_missing_baseline_is_a_usage_error(self, paths, tmp_path):
+        code, _output = run(
+            [paths("run.json", BASE),
+             "--baseline", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+
+
+class TestNoiseHandling:
+    def test_sub_floor_benchmarks_never_fail(self, paths, tmp_path):
+        tiny = {"bench_a.py::test_tiny": 5e-6}
+        baseline = str(tmp_path / "baseline.json")
+        run([paths("base.json", tiny), "--baseline", baseline, "--update"])
+        slowed = {"bench_a.py::test_tiny": 5e-5}  # 10x, still < 100 µs
+        code, output = run([paths("slow.json", slowed), "--baseline", baseline])
+        assert code == 0
+        assert "noise floor" in output
+
+    def test_normalize_forgives_a_uniform_slowdown(self, paths, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        run([paths("base.json", BASE), "--baseline", baseline, "--update"])
+        uniform = {name: median * 3.0 for name, median in BASE.items()}
+        code, _output = run(
+            [paths("slow.json", uniform), "--baseline", baseline]
+        )
+        assert code == 1  # without --normalize a 3x slowdown fails
+        code, output = run(
+            [paths("slow.json", uniform), "--baseline", baseline,
+             "--normalize"]
+        )
+        assert code == 0
+        assert "speed factor: 3.000x" in output
+
+    def test_normalize_still_catches_a_single_regression(self, paths, tmp_path):
+        medians = {
+            "bench_a.py::test_%d" % index: 0.010 for index in range(8)
+        }
+        baseline = str(tmp_path / "baseline.json")
+        run([paths("base.json", medians), "--baseline", baseline, "--update"])
+        skewed = dict(medians)
+        skewed["bench_a.py::test_0"] = 0.100  # 10x on one benchmark only
+        code, output = run(
+            [paths("skew.json", skewed), "--baseline", baseline, "--normalize"]
+        )
+        assert code == 1
+        assert "test_0" in output
+
+
+class TestSetDifferences:
+    def test_missing_and_new_are_reported_not_fatal(self, paths, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        run([paths("base.json", BASE), "--baseline", baseline, "--update"])
+        changed = {
+            "bench_a.py::test_fast": 0.010,
+            "bench_a.py::test_brand_new": 0.050,
+        }
+        code, output = run([paths("run.json", changed), "--baseline", baseline])
+        assert code == 0
+        assert "missing from this run: bench_a.py::test_slow" in output
+        assert "new (not in baseline): bench_a.py::test_brand_new" in output
