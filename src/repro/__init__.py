@@ -17,8 +17,10 @@ Quick start::
         print(answer.node_id, answer.score)
 """
 
+from repro.cache import ResultCache
 from repro.collection import Corpus, DocumentCollection
 from repro.engine import FleXPath
+from repro.plans.eval_cache import EvaluationCache
 from repro.errors import (
     EvaluationError,
     FleXPathError,
@@ -68,6 +70,7 @@ __all__ = [
     "DPO",
     "Document",
     "DocumentCollection",
+    "EvaluationCache",
     "EvaluationError",
     "FTExprParseError",
     "FleXPath",
@@ -85,6 +88,7 @@ __all__ = [
     "QueryContext",
     "QueryParseError",
     "QueryTrace",
+    "ResultCache",
     "RelaxationSchedule",
     "SSO",
     "STRUCTURE_FIRST",

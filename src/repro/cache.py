@@ -1,0 +1,89 @@
+"""Tier-2 result cache: whole top-K answers, keyed by the canonical query.
+
+The :class:`~repro.engine.FleXPath` facade fronts every query with a small
+LRU over finished :class:`~repro.topk.base.TopKResult` objects.  The key is
+the canonical evaluation request — ``(TPQ, k, scheme name, algorithm,
+max_relaxations, corpus version)`` — so two textual spellings of the same
+tree pattern share one entry (:class:`~repro.query.tpq.TPQ` hashes by its
+canonical structural key).
+
+Correctness relies on two facts:
+
+- results are immutable in practice (frozen scores, tuples of answers), so
+  handing the same object back twice is safe;
+- a document only changes through
+  :meth:`~repro.collection.Corpus.add_document`, which both bumps the
+  corpus ``version`` (part of the key) and clears the cache through the
+  facade's subscription — belt and suspenders, so a stale read is
+  impossible even if a caller keeps an old key alive.
+
+Probes are rare (one per facade query), so counters go straight to the
+process :class:`~repro.obs.metrics.MetricsRegistry` (``result_cache.*``)
+and the ``cache_hit``/``cache_miss`` event seam — no delta folding needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
+
+DEFAULT_MAX_ENTRIES = 128
+
+
+class ResultCache:
+    """LRU of finished top-K results with registry/event instrumentation."""
+
+    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+
+    def get(self, key):
+        """The cached result for ``key``, or None; refreshes LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            if REGISTRY.enabled:
+                REGISTRY.inc("result_cache.misses")
+            if HUB.active:
+                HUB.emit("cache_miss", {"engine": "result", "cache": "result"})
+            return None
+        self._entries.move_to_end(key)
+        if REGISTRY.enabled:
+            REGISTRY.inc("result_cache.hits")
+        if HUB.active:
+            HUB.emit("cache_hit", {"engine": "result", "cache": "result"})
+        return entry
+
+    def put(self, key, result):
+        """Store ``result``, evicting the least-recently-used entry if full."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = result
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            if REGISTRY.enabled:
+                REGISTRY.inc("result_cache.evictions")
+        if REGISTRY.enabled:
+            REGISTRY.set_gauge("result_cache.size", len(entries))
+
+    def invalidate(self):
+        """Drop every entry (corpus growth)."""
+        if self._entries:
+            self._entries.clear()
+            if REGISTRY.enabled:
+                REGISTRY.inc("result_cache.invalidations")
+        if REGISTRY.enabled:
+            REGISTRY.set_gauge("result_cache.size", 0)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "ResultCache(entries=%d, max_entries=%d)" % (
+            len(self._entries),
+            self.max_entries,
+        )

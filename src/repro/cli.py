@@ -65,6 +65,10 @@ def build_parser():
         "--show-text", action="store_true",
         help="print a text snippet for each answer",
     )
+    query.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the evaluation and result caches for this run",
+    )
 
     exact = commands.add_parser("exact", help="strict evaluation, no relaxation")
     exact.add_argument("file")
@@ -161,6 +165,10 @@ def build_parser():
         "--slow-ms", type=float, default=None, metavar="MS",
         help="also enable the slow-query log at this threshold",
     )
+    metrics.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the evaluation and result caches for the workload",
+    )
 
     return parser
 
@@ -205,7 +213,10 @@ def _dispatch(args, out):
         return _cmd_generate(args, out)
     if args.command == "dump":
         return _cmd_dump(args, out)
-    engine = FleXPath(_load_document(args.file))
+    engine = FleXPath(
+        _load_document(args.file),
+        cache=not getattr(args, "no_cache", False),
+    )
     if args.command == "query":
         return _cmd_query(engine, args, out)
     if args.command == "exact":

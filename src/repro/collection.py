@@ -45,6 +45,7 @@ class Corpus:
         self._names = []
         self._listeners = []
         self._tracer = NULL_TRACER
+        self._version = 0
 
     def set_tracer(self, tracer):
         """Attach a :class:`~repro.obs.Tracer` to ingest (None detaches).
@@ -67,6 +68,7 @@ class Corpus:
         """
         if name is None:
             name = "doc%d" % len(self._names)
+        self._version += 1
         tracer = self._tracer
         started = perf_counter()
         with tracer.span("corpus.splice"):
@@ -126,6 +128,15 @@ class Corpus:
     @property
     def names(self):
         return list(self._names)
+
+    @property
+    def version(self):
+        """Monotonic mutation counter: bumps on every ``add_document``.
+
+        Result caches fold this into their keys so entries written against
+        an older corpus state can never answer a query against a newer one.
+        """
+        return self._version
 
     def __len__(self):
         return len(self._names)

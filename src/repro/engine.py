@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from time import perf_counter
 
+from repro.cache import ResultCache
 from repro.errors import FleXPathError
 from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
@@ -55,47 +56,74 @@ DEFAULT_ALGORITHM = "hybrid"
 class FleXPath:
     """Flexible structure + full-text querying over one XML document."""
 
-    def __init__(self, document, weights=UNIFORM_WEIGHTS):
+    def __init__(self, document, weights=UNIFORM_WEIGHTS, cache=True,
+                 result_cache_size=None):
+        """Wire the facade over a document, corpus, or collection.
+
+        ``cache=False`` is the kill switch for *both* caching tiers: the
+        per-context :class:`~repro.plans.eval_cache.EvaluationCache` is
+        disabled and no :class:`~repro.cache.ResultCache` is attached, so
+        every query recomputes from scratch (byte-identical answers,
+        useful for benchmarking and verification).
+        """
         self._context = QueryContext(document, weights=weights)
         self._algorithms = {
             name: cls(self._context) for name, cls in _ALGORITHMS.items()
         }
+        if cache:
+            self._result_cache = (
+                ResultCache() if result_cache_size is None
+                else ResultCache(result_cache_size)
+            )
+            if self._context.corpus is not None:
+                self._context.corpus.subscribe(self._on_corpus_growth)
+        else:
+            self._context.eval_cache.enabled = False
+            self._result_cache = None
+
+    def _on_corpus_growth(self, corpus, start_id, end_id):
+        # The corpus version in the key already fences stale entries; the
+        # eager clear also frees the memory their answers pin.
+        self._result_cache.invalidate()
 
     # -- constructors ------------------------------------------------------------
 
     @classmethod
-    def from_xml(cls, text, weights=UNIFORM_WEIGHTS):
+    def from_xml(cls, text, weights=UNIFORM_WEIGHTS, cache=True):
         """Build an engine from an XML string."""
-        return cls(parse_xml(text), weights=weights)
+        return cls(parse_xml(text), weights=weights, cache=cache)
 
     @classmethod
-    def from_file(cls, path, weights=UNIFORM_WEIGHTS):
+    def from_file(cls, path, weights=UNIFORM_WEIGHTS, cache=True):
         """Build an engine from an XML file."""
-        return cls(parse_xml_file(path), weights=weights)
+        return cls(parse_xml_file(path), weights=weights, cache=cache)
 
     @classmethod
-    def from_corpus(cls, corpus, weights=UNIFORM_WEIGHTS):
+    def from_corpus(cls, corpus, weights=UNIFORM_WEIGHTS, cache=True):
         """Build an engine over a live :class:`~repro.collection.Corpus`.
 
         The engine stays subscribed: documents added to the corpus after
         construction become queryable immediately, with index and
-        statistics extended over just the new nodes.
+        statistics extended over just the new nodes (and both caching
+        tiers invalidated).
         """
-        return cls(corpus, weights=weights)
+        return cls(corpus, weights=weights, cache=cache)
 
     @classmethod
-    def from_files(cls, paths, weights=UNIFORM_WEIGHTS):
+    def from_files(cls, paths, weights=UNIFORM_WEIGHTS, cache=True):
         """Build an engine over a collection parsed from XML files."""
         from repro.collection import DocumentCollection
 
-        return cls(DocumentCollection.from_files(paths), weights=weights)
+        return cls(
+            DocumentCollection.from_files(paths), weights=weights, cache=cache
+        )
 
     @classmethod
-    def from_dump(cls, path, weights=UNIFORM_WEIGHTS):
+    def from_dump(cls, path, weights=UNIFORM_WEIGHTS, cache=True):
         """Build an engine from a ``flexpath-doc`` dump file."""
         from repro.xmltree.storage import load_document
 
-        return cls(load_document(path), weights=weights)
+        return cls(load_document(path), weights=weights, cache=cache)
 
     # -- accessors ----------------------------------------------------------------
 
@@ -112,6 +140,23 @@ class FleXPath:
     def context(self):
         """The underlying :class:`~repro.topk.base.QueryContext`."""
         return self._context
+
+    @property
+    def result_cache(self):
+        """The tier-2 :class:`~repro.cache.ResultCache`, or None when off."""
+        return self._result_cache
+
+    def cache_info(self):
+        """A JSON-safe summary of both caching tiers."""
+        eval_cache = self._context.eval_cache
+        info = {
+            "enabled": self._result_cache is not None,
+            "eval_cache": eval_cache.metrics_snapshot(),
+            "eval_cache_entries": eval_cache.entry_count(),
+        }
+        if self._result_cache is not None:
+            info["result_cache_entries"] = len(self._result_cache)
+        return info
 
     # -- querying -----------------------------------------------------------------
 
@@ -162,11 +207,50 @@ class FleXPath:
             )
         started = perf_counter()
         query_trace = None
+        cache_key = None
+        if self._result_cache is not None and not trace:
+            # Traced queries bypass the result cache — the caller asked to
+            # watch the evaluation, so returning a memo would be useless.
+            corpus = self._context.corpus
+            cache_key = (
+                tpq,
+                k,
+                scheme.name,
+                strategy.name,
+                max_relaxations,
+                corpus.version if corpus is not None else 0,
+            )
+            cached = self._result_cache.get(cache_key)
+            if cached is not None:
+                seconds = perf_counter() - started
+                if REGISTRY.enabled:
+                    REGISTRY.inc("query.count")
+                    REGISTRY.observe("query.seconds", seconds)
+                if HUB.active:
+                    HUB.emit(
+                        "query_end",
+                        {
+                            "query": query_text,
+                            "k": k,
+                            "algorithm": cached.algorithm,
+                            "scheme": scheme.name,
+                            "seconds": seconds,
+                            "levels_evaluated": cached.levels_evaluated,
+                            "relaxations_used": cached.relaxations_used,
+                            "answers": len(cached.answers),
+                            "result": cached,
+                            "trace": None,
+                            "cached": True,
+                        },
+                    )
+                return cached
         try:
             if not trace:
                 result = strategy.top_k(
                     tpq, k, scheme=scheme, max_relaxations=max_relaxations
                 )
+                if cache_key is not None:
+                    self._result_cache.put(cache_key, result)
             else:
                 tracer = Tracer()
                 self._context.attach_tracer(tracer)
@@ -201,6 +285,7 @@ class FleXPath:
                     "answers": len(result.answers),
                     "result": result,
                     "trace": query_trace,
+                    "cached": False,
                 },
             )
         return query_trace if trace else result

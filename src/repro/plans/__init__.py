@@ -1,5 +1,6 @@
 """Join plans: structural join primitive, relaxation-encoded plans, executor."""
 
+from repro.plans.eval_cache import EvaluationCache
 from repro.plans.executor import (
     HYBRID_MODE,
     SSO_MODE,
@@ -19,15 +20,19 @@ from repro.plans.plan import (
 )
 from repro.plans.ordering import selectivity_ordered
 from repro.plans.structural_join import (
+    semi_join_ancestor_ids,
     semi_join_ancestors,
+    semi_join_descendant_ids,
     semi_join_descendants,
     structural_join,
+    structural_join_ids,
 )
 
 __all__ = [
     "Alternative",
     "ContainsCheck",
     "ContainsLevel",
+    "EvaluationCache",
     "ExecutionResult",
     "ExecutionStats",
     "HYBRID_MODE",
@@ -39,7 +44,10 @@ __all__ = [
     "build_encoded_plan",
     "build_strict_plan",
     "selectivity_ordered",
+    "semi_join_ancestor_ids",
     "semi_join_ancestors",
+    "semi_join_descendant_ids",
     "semi_join_descendants",
     "structural_join",
+    "structural_join_ids",
 ]

@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass
 
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import NULL_TRACER
+from repro.plans.eval_cache import restriction_key
 from repro.rank.schemes import STRUCTURE_FIRST
 from repro.rank.scores import AnswerScore, ScoredAnswer
 
@@ -89,9 +90,11 @@ class _Tuple:
 class PlanExecutor:
     """Executes plans against one document + IR engine pair."""
 
-    def __init__(self, document, ir_engine):
+    def __init__(self, document, ir_engine, eval_cache=None):
         self._document = document
         self._ir = ir_engine
+        self._eval_cache = eval_cache
+        self._live_cache = None
         self._pool_restrictions = {}
         self._excluded_answers = ()
 
@@ -122,6 +125,13 @@ class PlanExecutor:
         stats = ExecutionStats()
         self._pool_restrictions = pool_restrictions or {}
         self._excluded_answers = exclude_answer_ids or ()
+        cache = self._eval_cache
+        self._live_cache = cache if cache is not None and cache.enabled else None
+        eval_before = (
+            self._live_cache.metrics_snapshot()
+            if tracer.enabled and self._live_cache is not None
+            else None
+        )
         var_positions = {plan.root_var: 0}
         for index, join in enumerate(plan.joins):
             var_positions[join.var] = index + 1
@@ -230,6 +240,14 @@ class PlanExecutor:
 
         with tracer.span("collect"):
             answers = self._collect(plan, tuples, var_positions, scheme, stats)
+        if eval_before is not None:
+            # Surface this run's cache activity in the trace: with a warm
+            # cache the IR counters legitimately read zero, and the hits
+            # are what explain --analyze should show instead.
+            for key, value in self._live_cache.metrics_snapshot().items():
+                delta = value - eval_before[key]
+                if delta:
+                    tracer.count(key, delta)
         if REGISTRY.enabled:
             # Fold this run's counters into the process registry: additive
             # fields become counters; max_intermediate is a high-water mark.
@@ -246,24 +264,50 @@ class PlanExecutor:
     # -- phases -----------------------------------------------------------------
 
     def _seed(self, plan, stats):
-        if plan.root_tag is not None:
-            candidates = self._document.nodes_with_tag(plan.root_tag)
-        else:
-            candidates = list(self._document.nodes())
         allowed = self._pool_restrictions.get(plan.root_var)
-        tuples = []
-        for node in candidates:
-            if allowed is not None and node.node_id not in allowed:
-                continue
-            if not self._attrs_ok(plan.root_attr_predicates, node):
-                continue
-            tuples.append(_Tuple((node,), 0.0, 0.0, ()))
+        cache = self._live_cache
+        nodes = None
+        pool_key = None
+        if cache is not None:
+            pool_key = (
+                plan.root_tag,
+                plan.root_attr_predicates,
+                restriction_key(allowed),
+            )
+            nodes = cache.get_pool(pool_key)
+        if nodes is None:
+            if plan.root_tag is not None:
+                candidates = self._document.nodes_with_tag(plan.root_tag)
+            else:
+                candidates = list(self._document.nodes())
+            nodes = []
+            for node in candidates:
+                if allowed is not None and node.node_id not in allowed:
+                    continue
+                if not self._attrs_ok(plan.root_attr_predicates, node):
+                    continue
+                nodes.append(node)
+            if cache is not None:
+                nodes = tuple(nodes)
+                cache.put_pool(pool_key, nodes)
+        tuples = [_Tuple((node,), 0.0, 0.0, ()) for node in nodes]
         stats.tuples_produced += len(tuples)
         return tuples
 
     def _extend(self, join, tuples, var_positions, stats):
         out = []
         allowed = self._pool_restrictions.get(join.var)
+        cache = self._live_cache
+        filter_key = None
+        if cache is not None:
+            # The per-base candidate set depends only on the navigation
+            # (axis, base node, tag) and the surviving filters — the
+            # canonical join signature shared across relaxation levels.
+            filter_key = (
+                join.tag,
+                join.attr_predicates,
+                restriction_key(allowed),
+            )
         for item in tuples:
             emitted = set()
             matched = False
@@ -271,16 +315,26 @@ class PlanExecutor:
                 base = item.bindings[var_positions[alt.connect_var]]
                 if base is None:
                     continue
-                if alt.axis == "pc":
-                    candidates = self._children(base, join.tag)
-                else:
-                    candidates = self._descendants(base, join.tag)
+                candidates = None
+                if cache is not None:
+                    join_key = (alt.axis, base.node_id, filter_key)
+                    candidates = cache.get_join(join_key)
+                if candidates is None:
+                    if alt.axis == "pc":
+                        raw = self._children(base, join.tag)
+                    else:
+                        raw = self._descendants(base, join.tag)
+                    candidates = [
+                        candidate
+                        for candidate in raw
+                        if (allowed is None or candidate.node_id in allowed)
+                        and self._attrs_ok(join.attr_predicates, candidate)
+                    ]
+                    if cache is not None:
+                        candidates = tuple(candidates)
+                        cache.put_join(join_key, candidates)
                 for candidate in candidates:
-                    if allowed is not None and candidate.node_id not in allowed:
-                        continue
                     if candidate.node_id in emitted:
-                        continue
-                    if not self._attrs_ok(join.attr_predicates, candidate):
                         continue
                     emitted.add(candidate.node_id)
                     matched = True
@@ -312,6 +366,7 @@ class PlanExecutor:
         if not checks:
             return tuples
         ir = self._ir
+        cache = self._live_cache
         out = []
         for item in tuples:
             ss = item.ss
@@ -324,10 +379,17 @@ class PlanExecutor:
                     node = item.bindings[var_positions[level.var]]
                     if node is None:
                         continue
-                    if ir.satisfies(node, check.ftexpr):
+                    if cache is not None:
+                        satisfied = cache.satisfies(ir, node, check.ftexpr)
+                    else:
+                        satisfied = ir.satisfies(node, check.ftexpr)
+                    if satisfied:
                         matched_level = level_index
                         ss += level.delta
-                        ks += ir.score(node, check.ftexpr)
+                        if cache is not None:
+                            ks += cache.score(ir, node, check.ftexpr)
+                        else:
+                            ks += ir.score(node, check.ftexpr)
                         break
                 if matched_level is None:
                     alive = False

@@ -5,9 +5,206 @@ lists of nodes sorted by region start, produce all (ancestor, descendant)
 or (parent, child) pairs in a single merge pass using a stack of open
 ancestors. Output pairs are sorted by the descendant's start, the order the
 downstream joins in a left-deep plan expect.
+
+Two layers share the merge logic:
+
+- the **columnar kernels** (:func:`structural_join_ids`,
+  :func:`semi_join_ancestor_ids`, :func:`semi_join_descendant_ids`) merge
+  directly over the node table's ``ends``/``levels`` int columns and
+  id-sorted input sequences, emitting node *ids*.  In the region encoding a
+  node's id equals its region start, so the id sequences double as the
+  start-sorted inputs and no node views are touched at all — callers
+  materialize views only when projecting answers.  When one side runs dry
+  between matches the kernel skips ahead with :func:`bisect.bisect_left`
+  instead of stepping descendant by descendant.
+- the **node-view API** (:func:`structural_join`, :func:`semi_join_ancestors`,
+  :func:`semi_join_descendants`) keeps the original list-of-nodes contract.
+  When both inputs are flyweight views of the same columnar store it
+  extracts ids, runs the kernel, and maps surviving ids back to the input
+  views; arbitrary node-like objects (tests, other stores) fall back to an
+  object-level merge.
+
+The parent-child axis exploits the stack invariant: open ancestors form a
+nested chain, so the *top* of the stack is the deepest open ancestor and is
+the only possible parent (``level == descendant.level - 1``) — no per-pair
+stack scan is needed.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
+
+
+def _check_axis(axis):
+    if axis not in ("ad", "pc"):
+        raise ValueError("axis must be 'ad' or 'pc'")
+
+
+def _shared_store(ancestor_list, descendant_list):
+    """The columnar store backing both inputs, or None."""
+    if not ancestor_list or not descendant_list:
+        return None
+    store = getattr(ancestor_list[0], "_store", None)
+    if store is None or getattr(descendant_list[0], "_store", None) is not store:
+        return None
+    return store
+
+
+# -- columnar kernels (id in, id out) -----------------------------------------
+
+
+def structural_join_ids(ends, levels, ancestor_ids, descendant_ids, axis="ad"):
+    """Columnar join: id-sorted id sequences in, ``(aid, did)`` pairs out.
+
+    ``ends`` and ``levels`` are the node table's columns (indexable by node
+    id); node ids equal region starts, so the sorted id sequences are the
+    start-sorted join inputs.  Pairs come out sorted by descendant id.
+    """
+    _check_axis(axis)
+    results = []
+    stack = []
+    a_index = 0
+    d_index = 0
+    a_len = len(ancestor_ids)
+    d_len = len(descendant_ids)
+    parent_only = axis == "pc"
+
+    while d_index < d_len:
+        descendant = descendant_ids[d_index]
+        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
+            # Nothing open and the next candidate starts later: every
+            # descendant before it cannot match — bisect straight there.
+            d_index = bisect_left(
+                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
+            )
+            continue
+        # Push every ancestor candidate opening before this descendant.
+        while a_index < a_len and ancestor_ids[a_index] < descendant:
+            candidate = ancestor_ids[a_index]
+            while stack and ends[stack[-1]] <= candidate:
+                stack.pop()
+            stack.append(candidate)
+            a_index += 1
+        # Pop ancestors whose region closed before this descendant; the
+        # survivors form a nested chain of regions all containing it.
+        while stack and ends[stack[-1]] <= descendant:
+            stack.pop()
+        if parent_only:
+            if stack:
+                top = stack[-1]
+                if levels[top] + 1 == levels[descendant]:
+                    results.append((top, descendant))
+        else:
+            for ancestor in stack:
+                results.append((ancestor, descendant))
+        d_index += 1
+    return results
+
+
+def semi_join_descendant_ids(ends, levels, ancestor_ids, descendant_ids,
+                             axis="ad"):
+    """Ids from ``descendant_ids`` with at least one joining ancestor.
+
+    Deduplicates during the merge (a descendant matches at most once per
+    pass) and never materializes the pair list; output stays id-sorted by
+    construction.
+    """
+    _check_axis(axis)
+    kept = []
+    stack = []
+    a_index = 0
+    d_index = 0
+    a_len = len(ancestor_ids)
+    d_len = len(descendant_ids)
+    parent_only = axis == "pc"
+
+    while d_index < d_len:
+        descendant = descendant_ids[d_index]
+        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
+            d_index = bisect_left(
+                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
+            )
+            continue
+        while a_index < a_len and ancestor_ids[a_index] < descendant:
+            candidate = ancestor_ids[a_index]
+            while stack and ends[stack[-1]] <= candidate:
+                stack.pop()
+            stack.append(candidate)
+            a_index += 1
+        while stack and ends[stack[-1]] <= descendant:
+            stack.pop()
+        if stack and (
+            not parent_only or levels[stack[-1]] + 1 == levels[descendant]
+        ):
+            kept.append(descendant)
+        d_index += 1
+    return kept
+
+
+def semi_join_ancestor_ids(ends, levels, ancestor_ids, descendant_ids,
+                           axis="ad"):
+    """Ids from ``ancestor_ids`` with at least one joining descendant.
+
+    Matches are collected into a set during the merge and emitted by one
+    ordered filter pass over the input — no pair list, no re-sort.  Once
+    every open ancestor is marked the descendant scan skips ahead to the
+    next unopened candidate.
+    """
+    _check_axis(axis)
+    matched = set()
+    stack = []
+    a_index = 0
+    d_index = 0
+    a_len = len(ancestor_ids)
+    d_len = len(descendant_ids)
+    parent_only = axis == "pc"
+
+    while d_index < d_len:
+        descendant = descendant_ids[d_index]
+        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
+            d_index = bisect_left(
+                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
+            )
+            continue
+        while a_index < a_len and ancestor_ids[a_index] < descendant:
+            candidate = ancestor_ids[a_index]
+            while stack and ends[stack[-1]] <= candidate:
+                stack.pop()
+            stack.append(candidate)
+            a_index += 1
+        while stack and ends[stack[-1]] <= descendant:
+            stack.pop()
+        if parent_only:
+            if stack:
+                top = stack[-1]
+                if levels[top] + 1 == levels[descendant]:
+                    matched.add(top)
+        else:
+            # Walk deepest-first: when an entry is already matched, every
+            # entry below it was open at that earlier match too.
+            for ancestor in reversed(stack):
+                if ancestor in matched:
+                    break
+                matched.add(ancestor)
+        if (
+            not parent_only
+            and stack
+            and len(matched) == a_index
+            and a_index < a_len
+        ):
+            # Every pushed ancestor already matched: skip to the first
+            # descendant that could open a new candidate.
+            d_index = bisect_left(
+                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
+            )
+            continue
+        d_index += 1
+    if len(matched) == a_len:
+        return list(ancestor_ids)
+    return [node_id for node_id in ancestor_ids if node_id in matched]
+
+
+# -- node-view API ------------------------------------------------------------
 
 
 def structural_join(ancestor_list, descendant_list, axis="ad"):
@@ -21,8 +218,20 @@ def structural_join(ancestor_list, descendant_list, axis="ad"):
     Returns:
         List of ``(ancestor, descendant)`` pairs sorted by descendant start.
     """
-    if axis not in ("ad", "pc"):
-        raise ValueError("axis must be 'ad' or 'pc'")
+    _check_axis(axis)
+    store = _shared_store(ancestor_list, descendant_list)
+    if store is not None:
+        by_ancestor = {node.node_id: node for node in ancestor_list}
+        by_descendant = {node.node_id: node for node in descendant_list}
+        pairs = structural_join_ids(
+            store.ends,
+            store.levels,
+            sorted(by_ancestor),
+            sorted(by_descendant),
+            axis=axis,
+        )
+        return [(by_ancestor[a], by_descendant[d]) for a, d in pairs]
+
     results = []
     stack = []
     a_index = 0
@@ -47,13 +256,14 @@ def structural_join(ancestor_list, descendant_list, axis="ad"):
             for ancestor in stack:
                 if descendant.end <= ancestor.end:
                     results.append((ancestor, descendant))
-        else:
-            for ancestor in stack:
-                if (
-                    descendant.end <= ancestor.end
-                    and descendant.level == ancestor.level + 1
-                ):
-                    results.append((ancestor, descendant))
+        elif stack:
+            # The parent can only be the deepest open ancestor.
+            ancestor = stack[-1]
+            if (
+                descendant.end <= ancestor.end
+                and descendant.level == ancestor.level + 1
+            ):
+                results.append((ancestor, descendant))
         d_index += 1
     return results
 
@@ -62,29 +272,46 @@ def semi_join_ancestors(ancestor_list, descendant_list, axis="ad"):
     """Ancestors (from ``ancestor_list``) with at least one descendant.
 
     Returns a start-sorted, duplicate-free list; the existential form used
-    when a branch predicate only asserts existence.
+    when a branch predicate only asserts existence.  Deduplication happens
+    during the merge pass — no pair list, no re-sort.
     """
-    seen = set()
-    kept = []
+    _check_axis(axis)
+    store = _shared_store(ancestor_list, descendant_list)
+    if store is not None:
+        by_ancestor = {node.node_id: node for node in ancestor_list}
+        kept = semi_join_ancestor_ids(
+            store.ends,
+            store.levels,
+            sorted(by_ancestor),
+            [node.node_id for node in descendant_list],
+            axis=axis,
+        )
+        return [by_ancestor[node_id] for node_id in kept]
+    matched = set()
     for ancestor, _descendant in structural_join(
         ancestor_list, descendant_list, axis=axis
     ):
-        if ancestor.node_id not in seen:
-            seen.add(ancestor.node_id)
-            kept.append(ancestor)
-    kept.sort(key=lambda node: node.start)
-    return kept
+        matched.add(ancestor.node_id)
+    return [node for node in ancestor_list if node.node_id in matched]
 
 
 def semi_join_descendants(ancestor_list, descendant_list, axis="ad"):
     """Descendants (from ``descendant_list``) with at least one ancestor."""
-    seen = set()
-    kept = []
+    _check_axis(axis)
+    store = _shared_store(ancestor_list, descendant_list)
+    if store is not None:
+        by_descendant = {node.node_id: node for node in descendant_list}
+        kept = semi_join_descendant_ids(
+            store.ends,
+            store.levels,
+            [node.node_id for node in ancestor_list],
+            sorted(by_descendant),
+            axis=axis,
+        )
+        return [by_descendant[node_id] for node_id in kept]
+    matched = set()
     for _ancestor, descendant in structural_join(
         ancestor_list, descendant_list, axis=axis
     ):
-        if descendant.node_id not in seen:
-            seen.add(descendant.node_id)
-            kept.append(descendant)
-    kept.sort(key=lambda node: node.start)
-    return kept
+        matched.add(descendant.node_id)
+    return [node for node in descendant_list if node.node_id in matched]

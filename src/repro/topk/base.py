@@ -17,6 +17,7 @@ from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import LevelTrace
 from repro.obs.tracer import Tracer
+from repro.plans.eval_cache import EvaluationCache
 from repro.plans.executor import PlanExecutor
 from repro.relax.penalties import UNIFORM_WEIGHTS, PenaltyModel
 from repro.relax.steps import RelaxationSchedule
@@ -60,7 +61,8 @@ class QueryContext:
         self.weights = weights
         self.penalties = PenaltyModel(self.statistics, self.ir, weights)
         self.estimator = SelectivityEstimator(self.statistics, self.ir)
-        self.executor = PlanExecutor(document, self.ir)
+        self.eval_cache = EvaluationCache()
+        self.executor = PlanExecutor(document, self.ir, eval_cache=self.eval_cache)
         self._schedules = {}
         if corpus is not None:
             corpus.subscribe(self._on_corpus_growth)
@@ -70,6 +72,9 @@ class QueryContext:
         self.ir.extend(start_id, end_id)
         self.statistics.extend(start_id, end_id)
         self._schedules.clear()
+        # Memoized pools / join candidates / contains probes are keyed by
+        # node id and document content; any append invalidates them all.
+        self.eval_cache.clear()
 
     def attach_tracer(self, tracer):
         """Point the context's IR engine at a tracer (None detaches).
@@ -134,7 +139,11 @@ def begin_topk_metrics(context):
     """
     if not REGISTRY.enabled:
         return None
-    return (perf_counter(), context.ir.metrics_snapshot())
+    return (
+        perf_counter(),
+        context.ir.metrics_snapshot(),
+        context.eval_cache.metrics_snapshot(),
+    )
 
 
 def record_topk_metrics(context, result, token):
@@ -148,7 +157,7 @@ def record_topk_metrics(context, result, token):
     """
     if token is None:
         return result
-    started, ir_before = token
+    started, ir_before, eval_before = token
     seconds = perf_counter() - started
     algorithm = result.algorithm.lower()
     folded = {
@@ -160,6 +169,10 @@ def record_topk_metrics(context, result, token):
         folded["topk.%s.restarts" % algorithm] = result.restarts
     for key, value in context.ir.metrics_snapshot().items():
         delta = value - ir_before[key]
+        if delta:
+            folded[key] = delta
+    for key, value in context.eval_cache.metrics_snapshot().items():
+        delta = value - eval_before[key]
         if delta:
             folded[key] = delta
     REGISTRY.inc_many(folded)

@@ -42,22 +42,30 @@ class IRFirstDPO:
 
     def __init__(self, context):
         self._context = context
-        self._satisfier_cache = {}
 
     def _satisfiers(self, ftexpr, tag):
-        """Node ids (with the given tag) whose subtree satisfies ``ftexpr``."""
-        key = (ftexpr, tag)
-        if key not in self._satisfier_cache:
-            ir = self._context.ir
-            document = self._context.document
+        """Node ids (with the given tag) whose subtree satisfies ``ftexpr``.
+
+        The set lives in the context's shared :class:`EvaluationCache`
+        (``satisfiers`` sub-cache), so it survives across queries, is
+        shared with any other strategy asking the same question, and is
+        invalidated when the corpus grows — the strategy-private dict this
+        replaced was never invalidated.
+        """
+        context = self._context
+
+        def compute():
+            ir = context.ir
+            document = context.document
             if tag is None:
                 pool = document.nodes()
             else:
                 pool = document.nodes_with_tag(tag)
-            self._satisfier_cache[key] = frozenset(
+            return frozenset(
                 node.node_id for node in pool if ir.satisfies(node, ftexpr)
             )
-        return self._satisfier_cache[key]
+
+        return context.eval_cache.satisfier_set((ftexpr, tag), compute)
 
     def _restrictions_for(self, query):
         restrictions = {}

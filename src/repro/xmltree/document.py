@@ -406,13 +406,38 @@ class Document:
         hi = bisect.bisect_left(ids, self._store.ends[node.node_id], lo=lo)
         return [self.node(node_id) for node_id in ids[lo:hi]]
 
+    def descendant_ids_with_tag(self, node, tag):
+        """Ids of descendants of ``node`` having ``tag`` (id-sorted).
+
+        The pure-column form of :meth:`descendants_with_tag`: two binary
+        searches over the tag index and one array slice — no node views
+        are materialized.  Join kernels consume this directly.
+        """
+        ids = self._store.node_ids_with_tag(tag)
+        if not ids:
+            return _EMPTY_IDS
+        lo = bisect.bisect_right(ids, node.start)
+        hi = bisect.bisect_left(ids, self._store.ends[node.node_id], lo=lo)
+        return ids[lo:hi]
+
+    def child_ids_with_tag(self, node, tag):
+        """Ids of children of ``node`` having ``tag`` (id-sorted).
+
+        Filters the descendant id range through the ``parent_ids`` column —
+        an exact test, and integer-only until the caller materializes.
+        """
+        ids = self._store.node_ids_with_tag(tag)
+        if not ids:
+            return []
+        lo = bisect.bisect_right(ids, node.start)
+        hi = bisect.bisect_left(ids, self._store.ends[node.node_id], lo=lo)
+        parent_ids = self._store.parent_ids
+        target = node.node_id
+        return [nid for nid in ids[lo:hi] if parent_ids[nid] == target]
+
     def children_with_tag(self, node, tag):
         """Return children of ``node`` having ``tag``, in document order."""
-        return [
-            child
-            for child in self.descendants_with_tag(node, tag)
-            if child.level == node.level + 1 and child.parent_id == node.node_id
-        ]
+        return [self.node(nid) for nid in self.child_ids_with_tag(node, tag)]
 
     # -- growth (the Corpus append path) -------------------------------------
 

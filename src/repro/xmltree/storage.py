@@ -219,6 +219,17 @@ def _load_v2(handle):
             )
         store.tags.intern(_unescape(line.rstrip("\n")))
 
+    # The tag dictionary is known before the first node row, so the hot
+    # loop can write the columns directly: local column bindings, no
+    # per-row function call, and the tag index built as a dense list
+    # indexed by tag id instead of a dict probe per node.
+    tag_ids = store.tag_ids
+    parent_ids = store.parent_ids
+    levels = store.levels
+    ends = store.ends
+    texts = store.texts
+    attribute_table = store.attribute_table
+    tag_lists = [array("i") for _ in range(tag_count)]
     for node_id in range(count):
         line = handle.readline()
         if not line:
@@ -237,14 +248,26 @@ def _load_v2(handle):
             raise FleXPathError(
                 "corrupt dump: node %d has unknown tag id %d" % (node_id, tag_id)
             )
-        _append_row(
-            store,
-            node_id,
-            parent_id,
-            tag_id,
-            _decode_attributes(fields[2]),
-            _unescape(fields[3]),
-        )
+        if parent_id < 0:
+            level = 0
+        elif parent_id >= node_id:
+            raise FleXPathError(
+                "corrupt dump: node %d precedes its parent" % node_id
+            )
+        else:
+            level = levels[parent_id] + 1
+        tag_ids.append(tag_id)
+        parent_ids.append(parent_id)
+        levels.append(level)
+        ends.append(node_id + 1)
+        texts.append(_unescape(fields[3]))
+        attributes = _decode_attributes(fields[2])
+        if attributes:
+            attribute_table[node_id] = attributes
+        tag_lists[tag_id].append(node_id)
+    store.tag_node_ids = {
+        tag_id: ids for tag_id, ids in enumerate(tag_lists) if ids
+    }
     return _finish_store(store, count)
 
 

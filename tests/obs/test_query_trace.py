@@ -55,7 +55,11 @@ class TestQueryTrace:
     def test_counter_totals_include_ir_and_executor(self, engine):
         trace = engine.query(QUERY, k=5, trace=True)
         totals = trace.counter_totals()
-        assert totals.get("ir.satisfies_calls", 0) > 0
+        # With a warm EvaluationCache the contains probes hit the memo
+        # instead of the IR engine; either way the work must be visible.
+        ir_calls = totals.get("ir.satisfies_calls", 0)
+        memo_hits = totals.get("eval_cache.contains.hits", 0)
+        assert ir_calls + memo_hits > 0
         assert totals.get("executor.tuples_produced", 0) > 0
 
     def test_as_dict_is_json_safe(self, engine):

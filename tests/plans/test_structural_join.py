@@ -4,7 +4,14 @@ import random
 
 import pytest
 
-from repro.plans import semi_join_ancestors, semi_join_descendants, structural_join
+from repro.plans import (
+    semi_join_ancestor_ids,
+    semi_join_ancestors,
+    semi_join_descendant_ids,
+    semi_join_descendants,
+    structural_join,
+    structural_join_ids,
+)
 from repro.xmltree import parse
 
 
@@ -91,6 +98,117 @@ class TestSemiJoins:
         )
         ids = [n.node_id for n in kept]
         assert len(ids) == len(set(ids))
+
+
+def _kernel_inputs(doc, ancestor_tag, descendant_tag):
+    store = doc.store
+    return (
+        store.ends,
+        store.levels,
+        list(store.node_ids_with_tag(ancestor_tag)),
+        list(store.node_ids_with_tag(descendant_tag)),
+    )
+
+
+class TestColumnarKernels:
+    @pytest.mark.parametrize("axis", ["ad", "pc"])
+    def test_join_ids_match_brute_force(self, doc, axis):
+        expected = brute_force(
+            doc.nodes_with_tag("a"), doc.nodes_with_tag("b"), axis
+        )
+        got = structural_join_ids(*_kernel_inputs(doc, "a", "b"), axis=axis)
+        assert got == [(a.node_id, d.node_id) for a, d in expected]
+
+    @pytest.mark.parametrize("axis", ["ad", "pc"])
+    def test_semi_join_ids_match_brute_force(self, doc, axis):
+        pairs = brute_force(
+            doc.nodes_with_tag("a"), doc.nodes_with_tag("b"), axis
+        )
+        inputs = _kernel_inputs(doc, "a", "b")
+        expected_ancestors = sorted({a.node_id for a, _d in pairs})
+        expected_descendants = sorted({d.node_id for _a, d in pairs})
+        assert semi_join_ancestor_ids(*inputs, axis=axis) == expected_ancestors
+        assert (
+            semi_join_descendant_ids(*inputs, axis=axis) == expected_descendants
+        )
+
+    def test_pc_rejects_grandparents(self):
+        # <a><c><b/></c></a>: a is an ancestor of b but never its parent,
+        # so the pc kernel must report nothing even while a is on the stack.
+        doc = parse("<r><a><c><b/></c></a></r>")
+        assert structural_join_ids(*_kernel_inputs(doc, "a", "b"), axis="pc") == []
+        assert structural_join_ids(*_kernel_inputs(doc, "c", "b"), axis="pc") == [
+            (2, 3)
+        ]
+
+    def test_pc_parent_below_nested_nonmatching_ancestor(self):
+        # <a><a><b/></a></a>: both a's are open; only the inner (stack top)
+        # is the parent of b.
+        doc = parse("<r><a><a><b/></a></a></r>")
+        pairs = structural_join_ids(*_kernel_inputs(doc, "a", "b"), axis="pc")
+        assert pairs == [(2, 3)]
+
+    def test_semi_join_ancestor_nested_all_marked(self):
+        # One descendant deep inside a chain of same-tag ancestors must
+        # mark every open ancestor, not just the deepest.
+        doc = parse("<r><a><a><a><b/></a></a></a></r>")
+        kept = semi_join_ancestor_ids(*_kernel_inputs(doc, "a", "b"), axis="ad")
+        assert kept == [1, 2, 3]
+
+    def test_outputs_are_id_sorted(self, doc):
+        inputs = _kernel_inputs(doc, "a", "b")
+        ancestors = semi_join_ancestor_ids(*inputs, axis="ad")
+        descendants = semi_join_descendant_ids(*inputs, axis="ad")
+        assert ancestors == sorted(ancestors)
+        assert descendants == sorted(descendants)
+
+    def test_random_trees_match_brute_force(self):
+        rng = random.Random(23)
+        for trial in range(15):
+            doc = parse(_random_tree_xml(rng, max_depth=5))
+            xs = doc.nodes_with_tag("x")
+            ys = doc.nodes_with_tag("y")
+            inputs = _kernel_inputs(doc, "x", "y")
+            for axis in ("ad", "pc"):
+                pairs = brute_force(xs, ys, axis)
+                expected = [(a.node_id, d.node_id) for a, d in pairs]
+                assert structural_join_ids(*inputs, axis=axis) == expected, (
+                    trial,
+                    axis,
+                )
+                assert semi_join_ancestor_ids(*inputs, axis=axis) == sorted(
+                    {a for a, _d in expected}
+                ), (trial, axis)
+                assert semi_join_descendant_ids(*inputs, axis=axis) == sorted(
+                    {d for _a, d in expected}
+                ), (trial, axis)
+
+
+class TestSharedStoreFastPath:
+    def test_fast_path_matches_object_fallback(self):
+        # Same-store inputs take the columnar kernel; mixing stores falls
+        # back to the object merge. Both must agree pairwise.
+        rng = random.Random(31)
+        xml = _random_tree_xml(rng, max_depth=5)
+        doc = parse(xml)
+        twin = parse(xml)  # same shape, different store
+        for axis in ("ad", "pc"):
+            fast = structural_join(
+                doc.nodes_with_tag("x"), doc.nodes_with_tag("y"), axis=axis
+            )
+            slow = structural_join(
+                doc.nodes_with_tag("x"), twin.nodes_with_tag("y"), axis=axis
+            )
+            assert [(a.node_id, d.node_id) for a, d in fast] == [
+                (a.node_id, d.node_id) for a, d in slow
+            ]
+
+    def test_fast_path_returns_input_views(self, doc):
+        ancestors = doc.nodes_with_tag("a")
+        descendants = doc.nodes_with_tag("b")
+        for ancestor, descendant in structural_join(ancestors, descendants):
+            assert ancestor in ancestors
+            assert descendant in descendants
 
 
 class TestRandomized:

@@ -1,0 +1,82 @@
+"""Property tests: caching never changes answers.
+
+The acceptance contract for both caching tiers is *transparency*: a
+cache-disabled engine (``FleXPath(..., cache=False)``) and a cached engine
+must return byte-identical ranked answer lists for any workload, across
+all five algorithms, including repeated queries where the cached engine
+answers from the tier-2 result cache and warm tier-1 memos.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FleXPath
+
+from tests.properties.strategies import documents, tree_patterns
+
+ALGORITHMS = ("dpo", "sso", "hybrid", "naive", "ir-first")
+SCHEMES = ("structure-first", "keyword-first", "combined")
+
+
+def canonical(result):
+    """Every observable field of the ranked answers, in rank order."""
+    return [
+        (
+            a.node_id,
+            a.score.structural,
+            a.score.keyword,
+            a.relaxation_level,
+            a.satisfied,
+        )
+        for a in result.answers
+    ]
+
+
+@given(
+    tree_patterns(),
+    documents(),
+    st.integers(1, 8),
+    st.sampled_from(ALGORITHMS),
+)
+@settings(max_examples=25, deadline=None)
+def test_cached_equals_uncached(query, doc, k, algorithm):
+    cached = FleXPath(doc)
+    uncached = FleXPath(doc, cache=False)
+    # Run twice on the cached engine: the first answer fills both tiers,
+    # the second comes from the result cache and warm eval memos.
+    first = cached.query(query, k=k, algorithm=algorithm)
+    second = cached.query(query, k=k, algorithm=algorithm)
+    bare = uncached.query(query, k=k, algorithm=algorithm)
+    assert canonical(first) == canonical(bare)
+    assert canonical(second) == canonical(bare)
+
+
+@given(
+    st.lists(tree_patterns(), min_size=2, max_size=4),
+    documents(),
+    st.integers(1, 5),
+    st.sampled_from(SCHEMES),
+)
+@settings(max_examples=15, deadline=None)
+def test_interleaved_workload_cached_equals_uncached(queries, doc, k, scheme):
+    """Distinct queries sharing one warm eval cache must not cross-talk."""
+    cached = FleXPath(doc)
+    uncached = FleXPath(doc, cache=False)
+    # Interleave so later queries run against memos left by earlier ones.
+    for _round in range(2):
+        for index, query in enumerate(queries):
+            algorithm = ALGORITHMS[index % len(ALGORITHMS)]
+            got = cached.query(query, k=k, scheme=scheme, algorithm=algorithm)
+            want = uncached.query(
+                query, k=k, scheme=scheme, algorithm=algorithm
+            )
+            assert canonical(got) == canonical(want)
+
+
+@given(tree_patterns(), documents(), st.integers(1, 5))
+@settings(max_examples=10, deadline=None)
+def test_repeat_query_is_a_result_cache_hit(query, doc, k):
+    engine = FleXPath(doc)
+    first = engine.query(query, k=k)
+    second = engine.query(query, k=k)
+    assert second is first

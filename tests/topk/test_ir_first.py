@@ -54,6 +54,12 @@ class TestWorkProfile:
         strategy = IRFirstDPO(context)
         query = parse_query(SELECTIVE)
         strategy.top_k(query, 3)
-        cached = dict(strategy._satisfier_cache)
+        snapshot = context.eval_cache.metrics_snapshot()
+        misses = snapshot["eval_cache.satisfiers.misses"]
+        hits = snapshot["eval_cache.satisfiers.hits"]
+        assert misses + hits > 0  # the satisfier sets went through the cache
         strategy.top_k(query, 3)
-        assert strategy._satisfier_cache.keys() == cached.keys()
+        after = context.eval_cache.metrics_snapshot()
+        # Repeating the query computes no new sets — only hits grow.
+        assert after["eval_cache.satisfiers.misses"] == misses
+        assert after["eval_cache.satisfiers.hits"] > hits
