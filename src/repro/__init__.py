@@ -19,6 +19,8 @@ Quick start::
 
 from repro.cache import ResultCache
 from repro.collection import Corpus, DocumentCollection
+from repro.compiled import CompiledQuery, PlanCache, compile_query
+from repro.concurrency import RWLock
 from repro.engine import FleXPath
 from repro.plans.eval_cache import EvaluationCache
 from repro.errors import (
@@ -53,6 +55,7 @@ from repro.relax import PenaltyModel, RelaxationSchedule, WeightAssignment
 from repro.topk import (
     DPO,
     SSO,
+    ExecutionSession,
     Hybrid,
     IRFirstDPO,
     NaiveRewriting,
@@ -66,12 +69,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AnswerScore",
     "COMBINED",
+    "CompiledQuery",
     "Corpus",
     "DPO",
     "Document",
     "DocumentCollection",
     "EvaluationCache",
     "EvaluationError",
+    "ExecutionSession",
     "FTExprParseError",
     "FleXPath",
     "FleXPathError",
@@ -85,9 +90,11 @@ __all__ = [
     "NULL_TRACER",
     "NaiveRewriting",
     "PenaltyModel",
+    "PlanCache",
     "QueryContext",
     "QueryParseError",
     "QueryTrace",
+    "RWLock",
     "ResultCache",
     "RelaxationSchedule",
     "SSO",
@@ -100,6 +107,7 @@ __all__ = [
     "WeightAssignment",
     "XMLParseError",
     "build_document",
+    "compile_query",
     "disable_slow_query_log",
     "element",
     "enable_slow_query_log",

@@ -20,10 +20,19 @@ Correctness relies on two facts:
 Probes are rare (one per facade query), so counters go straight to the
 process :class:`~repro.obs.metrics.MetricsRegistry` (``result_cache.*``)
 and the ``cache_hit``/``cache_miss`` event seam — no delta folding needed.
+Instance-level tallies (hits/misses/evictions/invalidations) ride along so
+:meth:`ResultCache.info` can report per-engine numbers even when several
+engines share one process registry.
+
+Thread-safety: a single mutex serializes every probe — unlike the tier-1
+:class:`~repro.plans.eval_cache.EvaluationCache`, even ``get`` mutates
+(LRU ``move_to_end``), and probes are one-per-query rather than
+one-per-node, so the lock costs nothing measurable.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.obs.events import HUB
@@ -40,17 +49,27 @@ class ResultCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
 
     def get(self, key):
         """The cached result for ``key``, or None; refreshes LRU order."""
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
         if entry is None:
             if REGISTRY.enabled:
                 REGISTRY.inc("result_cache.misses")
             if HUB.active:
                 HUB.emit("cache_miss", {"engine": "result", "cache": "result"})
             return None
-        self._entries.move_to_end(key)
         if REGISTRY.enabled:
             REGISTRY.inc("result_cache.hits")
         if HUB.active:
@@ -59,25 +78,45 @@ class ResultCache:
 
     def put(self, key, result):
         """Store ``result``, evicting the least-recently-used entry if full."""
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = result
-        if len(entries) > self.max_entries:
-            entries.popitem(last=False)
-            if REGISTRY.enabled:
-                REGISTRY.inc("result_cache.evictions")
+        evicted = False
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = result
+            if len(entries) > self.max_entries:
+                entries.popitem(last=False)
+                self._evictions += 1
+                evicted = True
+            size = len(entries)
+        if evicted and REGISTRY.enabled:
+            REGISTRY.inc("result_cache.evictions")
         if REGISTRY.enabled:
-            REGISTRY.set_gauge("result_cache.size", len(entries))
+            REGISTRY.set_gauge("result_cache.size", size)
 
     def invalidate(self):
         """Drop every entry (corpus growth)."""
-        if self._entries:
-            self._entries.clear()
-            if REGISTRY.enabled:
-                REGISTRY.inc("result_cache.invalidations")
+        with self._lock:
+            dropped = bool(self._entries)
+            if dropped:
+                self._entries.clear()
+                self._invalidations += 1
+        if dropped and REGISTRY.enabled:
+            REGISTRY.inc("result_cache.invalidations")
         if REGISTRY.enabled:
             REGISTRY.set_gauge("result_cache.size", 0)
+
+    def info(self):
+        """Instance-level counters (independent of the process registry)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }
 
     def __len__(self):
         return len(self._entries)

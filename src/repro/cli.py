@@ -69,6 +69,15 @@ def build_parser():
         "--no-cache", action="store_true",
         help="disable the evaluation and result caches for this run",
     )
+    query.add_argument(
+        "--batch", action="store_true",
+        help="treat QUERY as a file of queries (one per line, # comments"
+        " skipped) evaluated as a batch through query_many",
+    )
+    query.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="thread-pool width for --batch (default 4)",
+    )
 
     exact = commands.add_parser("exact", help="strict evaluation, no relaxation")
     exact.add_argument("file")
@@ -240,6 +249,8 @@ def _snippet(document, node, width=60):
 
 
 def _cmd_query(engine, args, out):
+    if args.batch:
+        return _cmd_query_batch(engine, args, out)
     result = engine.query(
         args.query,
         k=args.k,
@@ -267,6 +278,47 @@ def _cmd_query(engine, args, out):
     return 0
 
 
+def _cmd_query_batch(engine, args, out):
+    with open(args.query, "r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle]
+    queries = [line for line in lines if line and not line.startswith("#")]
+    if not queries:
+        raise FleXPathError("batch file %r contains no queries" % args.query)
+    results = engine.query_many(
+        queries,
+        k=args.k,
+        scheme=args.scheme,
+        algorithm=args.algorithm,
+        max_relaxations=args.max_relaxations,
+        workers=args.workers,
+    )
+    print(
+        "# %d quer(ies), %s, K=%d, workers=%d"
+        % (len(queries), args.algorithm, args.k, args.workers),
+        file=out,
+    )
+    for text, result in zip(queries, results):
+        print("", file=out)
+        print(
+            "%s  ->  %d answer(s), relaxations used: %d"
+            % (text, len(result.answers), result.relaxations_used),
+            file=out,
+        )
+        for rank, answer in enumerate(result.answers, start=1):
+            line = "%3d. node %-6d <%s>  ss=%.3f ks=%.3f level=%d" % (
+                rank,
+                answer.node_id,
+                answer.node.tag,
+                answer.score.structural,
+                answer.score.keyword,
+                answer.relaxation_level,
+            )
+            if args.show_text:
+                line += "  | %s" % _snippet(engine.document, answer.node)
+            print(line, file=out)
+    return 0
+
+
 def _cmd_explain(engine, args, out):
     if args.analyze and args.json:
         trace = engine.query(
@@ -286,6 +338,13 @@ def _cmd_explain(engine, args, out):
             scheme=args.scheme,
             algorithm=args.algorithm,
             trace=True,
+        )
+        print("", file=out)
+        compile_ms = trace.spans.get("compile", {}).get("seconds", 0.0) * 1e3
+        execute_ms = trace.spans.get("execute", {}).get("seconds", 0.0) * 1e3
+        print(
+            "compile: %.3f ms   execute: %.3f ms" % (compile_ms, execute_ms),
+            file=out,
         )
         print("", file=out)
         print(trace.format(), file=out)

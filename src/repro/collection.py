@@ -18,6 +18,7 @@ from __future__ import annotations
 import bisect
 from time import perf_counter
 
+from repro.concurrency import RWLock
 from repro.errors import FleXPathError
 from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
@@ -46,6 +47,11 @@ class Corpus:
         self._listeners = []
         self._tracer = NULL_TRACER
         self._version = 0
+        #: Writer-preferring reader/writer lock shared with every consumer of
+        #: this corpus: queries hold it for read, :meth:`add_document` for
+        #: write, so a splice (and the subscriber cascade that rebuilds the
+        #: caches) can never interleave with an in-flight evaluation.
+        self.lock = RWLock()
 
     def set_tracer(self, tracer):
         """Attach a :class:`~repro.obs.Tracer` to ingest (None detaches).
@@ -66,22 +72,23 @@ class Corpus:
         re-parsed, or copied.  Subscribers are notified with the appended
         id range so indexes and statistics can extend incrementally.
         """
-        if name is None:
-            name = "doc%d" % len(self._names)
-        self._version += 1
-        tracer = self._tracer
         started = perf_counter()
-        with tracer.span("corpus.splice"):
-            start_id = self._document.append_fragment(document, parent_id=0)
-        end_id = start_id + len(document)
-        self._starts.append(start_id)
-        self._ends.append(end_id)
-        self._names.append(name)
-        if tracer.enabled:
-            tracer.count("corpus.nodes_added", end_id - start_id)
-        with tracer.span("corpus.extend_subscribers"):
-            for callback in self._listeners:
-                callback(self, start_id, end_id)
+        with self.lock.write_locked():
+            if name is None:
+                name = "doc%d" % len(self._names)
+            self._version += 1
+            tracer = self._tracer
+            with tracer.span("corpus.splice"):
+                start_id = self._document.append_fragment(document, parent_id=0)
+            end_id = start_id + len(document)
+            self._starts.append(start_id)
+            self._ends.append(end_id)
+            self._names.append(name)
+            if tracer.enabled:
+                tracer.count("corpus.nodes_added", end_id - start_id)
+            with tracer.span("corpus.extend_subscribers"):
+                for callback in self._listeners:
+                    callback(self, start_id, end_id)
         seconds = perf_counter() - started
         if REGISTRY.enabled:
             REGISTRY.inc_many(

@@ -21,6 +21,8 @@ Typical use::
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+from functools import lru_cache
 from time import perf_counter
 
 from repro.cache import ResultCache
@@ -51,6 +53,12 @@ _ALGORITHMS = {
 }
 
 DEFAULT_ALGORITHM = "hybrid"
+
+#: Process-wide memo for query-text parsing. ``parse_query`` is pure and
+#: :class:`TPQ` is immutable (hashes by canonical structural key), so
+#: sharing parse results across engines and threads is safe; lru_cache's
+#: own lock makes the memo thread-safe.
+_parse_query_memo = lru_cache(maxsize=512)(parse_query)
 
 
 class FleXPath:
@@ -89,17 +97,22 @@ class FleXPath:
     # -- constructors ------------------------------------------------------------
 
     @classmethod
-    def from_xml(cls, text, weights=UNIFORM_WEIGHTS, cache=True):
+    def from_xml(cls, text, weights=UNIFORM_WEIGHTS, cache=True,
+                 result_cache_size=None):
         """Build an engine from an XML string."""
-        return cls(parse_xml(text), weights=weights, cache=cache)
+        return cls(parse_xml(text), weights=weights, cache=cache,
+                   result_cache_size=result_cache_size)
 
     @classmethod
-    def from_file(cls, path, weights=UNIFORM_WEIGHTS, cache=True):
+    def from_file(cls, path, weights=UNIFORM_WEIGHTS, cache=True,
+                  result_cache_size=None):
         """Build an engine from an XML file."""
-        return cls(parse_xml_file(path), weights=weights, cache=cache)
+        return cls(parse_xml_file(path), weights=weights, cache=cache,
+                   result_cache_size=result_cache_size)
 
     @classmethod
-    def from_corpus(cls, corpus, weights=UNIFORM_WEIGHTS, cache=True):
+    def from_corpus(cls, corpus, weights=UNIFORM_WEIGHTS, cache=True,
+                    result_cache_size=None):
         """Build an engine over a live :class:`~repro.collection.Corpus`.
 
         The engine stays subscribed: documents added to the corpus after
@@ -107,23 +120,28 @@ class FleXPath:
         statistics extended over just the new nodes (and both caching
         tiers invalidated).
         """
-        return cls(corpus, weights=weights, cache=cache)
+        return cls(corpus, weights=weights, cache=cache,
+                   result_cache_size=result_cache_size)
 
     @classmethod
-    def from_files(cls, paths, weights=UNIFORM_WEIGHTS, cache=True):
+    def from_files(cls, paths, weights=UNIFORM_WEIGHTS, cache=True,
+                   result_cache_size=None):
         """Build an engine over a collection parsed from XML files."""
         from repro.collection import DocumentCollection
 
         return cls(
-            DocumentCollection.from_files(paths), weights=weights, cache=cache
+            DocumentCollection.from_files(paths), weights=weights, cache=cache,
+            result_cache_size=result_cache_size,
         )
 
     @classmethod
-    def from_dump(cls, path, weights=UNIFORM_WEIGHTS, cache=True):
+    def from_dump(cls, path, weights=UNIFORM_WEIGHTS, cache=True,
+                  result_cache_size=None):
         """Build an engine from a ``flexpath-doc`` dump file."""
         from repro.xmltree.storage import load_document
 
-        return cls(load_document(path), weights=weights, cache=cache)
+        return cls(load_document(path), weights=weights, cache=cache,
+                   result_cache_size=result_cache_size)
 
     # -- accessors ----------------------------------------------------------------
 
@@ -147,15 +165,18 @@ class FleXPath:
         return self._result_cache
 
     def cache_info(self):
-        """A JSON-safe summary of both caching tiers."""
+        """A JSON-safe summary of all three caching tiers."""
         eval_cache = self._context.eval_cache
         info = {
             "enabled": self._result_cache is not None,
             "eval_cache": eval_cache.metrics_snapshot(),
             "eval_cache_entries": eval_cache.entry_count(),
+            "plan_cache": self._context.plan_cache.info(),
         }
         if self._result_cache is not None:
-            info["result_cache_entries"] = len(self._result_cache)
+            result_info = self._result_cache.info()
+            info["result_cache_entries"] = result_info["entries"]
+            info["result_cache"] = result_info
         return info
 
     # -- querying -----------------------------------------------------------------
@@ -244,23 +265,31 @@ class FleXPath:
                         },
                     )
                 return cached
+        rwlock = self._context.rwlock
         try:
             if not trace:
-                result = strategy.top_k(
-                    tpq, k, scheme=scheme, max_relaxations=max_relaxations
-                )
+                # Read lock: any number of queries evaluate concurrently;
+                # ``Corpus.add_document`` (the only mutation) takes write.
+                with rwlock.read_locked():
+                    result = strategy.top_k(
+                        tpq, k, scheme=scheme, max_relaxations=max_relaxations
+                    )
                 if cache_key is not None:
                     self._result_cache.put(cache_key, result)
             else:
-                tracer = Tracer()
-                self._context.attach_tracer(tracer)
-                try:
-                    result = strategy.top_k(
-                        tpq, k, scheme=scheme,
-                        max_relaxations=max_relaxations, tracer=tracer,
-                    )
-                finally:
-                    self._context.attach_tracer(None)
+                # Traced queries take the WRITE lock: ``attach_tracer``
+                # swaps the tracer on the *shared* IR engine, which would
+                # leak spans into (and race with) concurrent readers.
+                with rwlock.write_locked():
+                    tracer = Tracer()
+                    self._context.attach_tracer(tracer)
+                    try:
+                        result = strategy.top_k(
+                            tpq, k, scheme=scheme,
+                            max_relaxations=max_relaxations, tracer=tracer,
+                        )
+                    finally:
+                        self._context.attach_tracer(None)
                 query_trace = build_query_trace(
                     result, tracer, perf_counter() - started
                 )
@@ -290,6 +319,40 @@ class FleXPath:
             )
         return query_trace if trace else result
 
+    def query_many(self, queries, k=10, scheme=STRUCTURE_FIRST,
+                   algorithm=DEFAULT_ALGORITHM, max_relaxations=None,
+                   workers=4):
+        """Evaluate a batch of queries concurrently; results keep input order.
+
+        Each query runs through :meth:`query` on a worker thread — same
+        caching, metrics, and events as a sequential loop — under the
+        corpus read lock, so the batch interleaves safely with concurrent
+        :meth:`~repro.collection.Corpus.add_document` calls. Strategies
+        are stateless (all per-query state lives in an
+        :class:`~repro.topk.base.ExecutionSession`), which is what makes
+        sharing one engine across the pool sound.
+
+        Args:
+            queries: iterable of XPath-fragment strings or :class:`TPQ`\\ s.
+            workers: thread-pool width (1 degrades to a plain loop).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if workers < 1:
+            raise FleXPathError("workers must be >= 1")
+
+        def run(tpq):
+            return self.query(
+                tpq, k=k, scheme=scheme, algorithm=algorithm,
+                max_relaxations=max_relaxations,
+            )
+
+        if workers == 1 or len(queries) == 1:
+            return [run(tpq) for tpq in queries]
+        with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as pool:
+            return list(pool.map(run, queries))
+
     def exact(self, query):
         """Evaluate with strict XPath semantics — no relaxation.
 
@@ -314,7 +377,8 @@ class FleXPath:
         started = perf_counter()
         oracle = self._contains_oracle()
         try:
-            nodes = evaluate(tpq, self.document, contains_oracle=oracle)
+            with self._context.rwlock.read_locked():
+                nodes = evaluate(tpq, self.document, contains_oracle=oracle)
         except Exception:
             REGISTRY.inc("query.errors")
             raise
@@ -350,7 +414,8 @@ class FleXPath:
         from repro.ir.ftexpr import parse_ftexpr
 
         expression = parse_ftexpr(ftexpr_text)
-        matches = self._context.ir.most_specific_matches(expression)
+        with self._context.rwlock.read_locked():
+            matches = self._context.ir.most_specific_matches(expression)
         return matches[:k]
 
     def relaxations(self, query, max_steps=None):
@@ -383,7 +448,7 @@ class FleXPath:
         if isinstance(query, TPQ):
             return query
         if isinstance(query, str):
-            return parse_query(query)
+            return _parse_query_memo(query)
         raise FleXPathError("query must be a TPQ or an XPath string")
 
     def _contains_oracle(self):

@@ -29,9 +29,20 @@ deltas into the process :class:`~repro.obs.metrics.MetricsRegistry` per
 query, like the IR engine's) and fires the ``cache_hit``/``cache_miss``
 event seam with ``{"engine": "eval", "cache": <name>}`` payloads when
 listeners are attached.
+
+Thread-safety: a single mutex guards every *structural* mutation (insert,
+budget flush, clear), so concurrent queries sharing one context can probe
+and fill the cache safely.  Lookups stay lock-free — CPython dict reads
+are atomic and a racy miss merely recomputes a value that was about to be
+cached anyway.  The hit/miss counters are likewise unlocked advisory
+tallies: a lost increment under contention skews a ratio by a hair but can
+never corrupt state, and per-probe locking on the hottest path in the
+system is the wrong trade.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.obs.events import HUB
 
@@ -57,6 +68,7 @@ class EvaluationCache:
         "_hits",
         "_misses",
         "_flushes",
+        "_lock",
     )
 
     def __init__(self, max_entries=DEFAULT_MAX_ENTRIES):
@@ -69,6 +81,7 @@ class EvaluationCache:
         self._hits = dict.fromkeys(CACHE_NAMES, 0)
         self._misses = dict.fromkeys(CACHE_NAMES, 0)
         self._flushes = 0
+        self._lock = threading.Lock()
 
     # -- probe bookkeeping ---------------------------------------------------
 
@@ -94,7 +107,8 @@ class EvaluationCache:
         return nodes
 
     def put_pool(self, key, nodes):
-        self._pools[key] = nodes
+        with self._lock:
+            self._pools[key] = nodes
 
     # -- join cache (per-base candidate sets) --------------------------------
 
@@ -108,11 +122,12 @@ class EvaluationCache:
         return nodes
 
     def put_join(self, key, nodes):
-        joins = self._joins
-        if len(joins) >= self.max_entries:
-            joins.clear()
-            self._flushes += 1
-        joins[key] = nodes
+        with self._lock:
+            joins = self._joins
+            if len(joins) >= self.max_entries:
+                joins.clear()
+                self._flushes += 1
+            joins[key] = nodes
 
     # -- contains probes -----------------------------------------------------
 
@@ -125,11 +140,12 @@ class EvaluationCache:
             return cached[0]
         self._miss("contains")
         satisfied = ir.satisfies(node, expression)
-        contains = self._contains
-        if len(contains) >= self.max_entries:
-            contains.clear()
-            self._flushes += 1
-        contains[key] = (satisfied, None)
+        with self._lock:
+            contains = self._contains
+            if len(contains) >= self.max_entries:
+                contains.clear()
+                self._flushes += 1
+            contains[key] = (satisfied, None)
         return satisfied
 
     def score(self, ir, node, expression):
@@ -145,7 +161,8 @@ class EvaluationCache:
             return cached[1]
         value = ir.score(node, expression)
         satisfied = cached[0] if cached is not None else True
-        self._contains[key] = (satisfied, value)
+        with self._lock:
+            self._contains[key] = (satisfied, value)
         return value
 
     # -- satisfier sets (IR-first seeding) -----------------------------------
@@ -164,17 +181,19 @@ class EvaluationCache:
             return cached
         self._miss("satisfiers")
         value = compute()
-        self._satisfier_sets[key] = value
+        with self._lock:
+            self._satisfier_sets[key] = value
         return value
 
     # -- lifecycle -----------------------------------------------------------
 
     def clear(self):
         """Drop every entry (corpus growth / test isolation); counters stay."""
-        self._pools.clear()
-        self._joins.clear()
-        self._contains.clear()
-        self._satisfier_sets.clear()
+        with self._lock:
+            self._pools.clear()
+            self._joins.clear()
+            self._contains.clear()
+            self._satisfier_sets.clear()
 
     def entry_count(self):
         """Total live entries across the sub-caches."""

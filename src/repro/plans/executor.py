@@ -87,16 +87,36 @@ class _Tuple:
         self.signature = signature
 
 
+class _RunState:
+    """Per-``run`` inputs threaded through the phase helpers.
+
+    Keeping these off the executor instance is what makes one executor
+    reentrant: concurrent queries sharing a context each carry their own
+    restrictions, dedup set, and cache handle down the call stack instead
+    of racing over shared attributes.
+    """
+
+    __slots__ = ("pools", "excluded", "cache")
+
+    def __init__(self, pools, excluded, cache):
+        self.pools = pools
+        self.excluded = excluded
+        self.cache = cache
+
+
 class PlanExecutor:
-    """Executes plans against one document + IR engine pair."""
+    """Executes plans against one document + IR engine pair.
+
+    Stateless across runs: every :meth:`run` builds a private
+    :class:`_RunState`, so one executor instance serves any number of
+    concurrent queries (the shared :class:`EvaluationCache` it probes is
+    internally locked).
+    """
 
     def __init__(self, document, ir_engine, eval_cache=None):
         self._document = document
         self._ir = ir_engine
         self._eval_cache = eval_cache
-        self._live_cache = None
-        self._pool_restrictions = {}
-        self._excluded_answers = ()
 
     # -- public entry ---------------------------------------------------------
 
@@ -123,13 +143,15 @@ class PlanExecutor:
         no-op tracer makes an untraced run cost nothing extra.
         """
         stats = ExecutionStats()
-        self._pool_restrictions = pool_restrictions or {}
-        self._excluded_answers = exclude_answer_ids or ()
         cache = self._eval_cache
-        self._live_cache = cache if cache is not None and cache.enabled else None
+        run = _RunState(
+            pools=pool_restrictions or {},
+            excluded=exclude_answer_ids or (),
+            cache=cache if cache is not None and cache.enabled else None,
+        )
         eval_before = (
-            self._live_cache.metrics_snapshot()
-            if tracer.enabled and self._live_cache is not None
+            run.cache.metrics_snapshot()
+            if tracer.enabled and run.cache is not None
             else None
         )
         var_positions = {plan.root_var: 0}
@@ -162,13 +184,13 @@ class PlanExecutor:
             return heapq.nlargest(k, guaranteed_by_node.values())[-1]
 
         with tracer.span("seed"):
-            tuples = self._seed(plan, stats)
-        if self._excluded_answers and plan.distinguished == plan.root_var:
+            tuples = self._seed(run, plan, stats)
+        if run.excluded and plan.distinguished == plan.root_var:
             with tracer.span("dedup"):
-                tuples = self._drop_known_answers(tuples, 0, stats)
+                tuples = self._drop_known_answers(run, tuples, 0, stats)
         with tracer.span("checks"):
             tuples = self._apply_checks(
-                plan, plan.root_var, tuples, var_positions, stats
+                run, plan, plan.root_var, tuples, var_positions, stats
             )
         # Zero-join plans never enter the loop below; record the seeded and
         # checked population here so max_intermediate is meaningful for them.
@@ -176,15 +198,15 @@ class PlanExecutor:
 
         for index, join in enumerate(plan.joins):
             with tracer.span("extend"):
-                tuples = self._extend(join, tuples, var_positions, stats)
-            if self._excluded_answers and join.var == plan.distinguished:
+                tuples = self._extend(run, join, tuples, var_positions, stats)
+            if run.excluded and join.var == plan.distinguished:
                 with tracer.span("dedup"):
                     tuples = self._drop_known_answers(
-                        tuples, var_positions[join.var], stats
+                        run, tuples, var_positions[join.var], stats
                     )
             with tracer.span("checks"):
                 tuples = self._apply_checks(
-                    plan, join.var, tuples, var_positions, stats
+                    run, plan, join.var, tuples, var_positions, stats
                 )
             with tracer.span("project"):
                 tuples = self._project(
@@ -244,7 +266,7 @@ class PlanExecutor:
             # Surface this run's cache activity in the trace: with a warm
             # cache the IR counters legitimately read zero, and the hits
             # are what explain --analyze should show instead.
-            for key, value in self._live_cache.metrics_snapshot().items():
+            for key, value in run.cache.metrics_snapshot().items():
                 delta = value - eval_before[key]
                 if delta:
                     tracer.count(key, delta)
@@ -263,9 +285,9 @@ class PlanExecutor:
 
     # -- phases -----------------------------------------------------------------
 
-    def _seed(self, plan, stats):
-        allowed = self._pool_restrictions.get(plan.root_var)
-        cache = self._live_cache
+    def _seed(self, run, plan, stats):
+        allowed = run.pools.get(plan.root_var)
+        cache = run.cache
         nodes = None
         pool_key = None
         if cache is not None:
@@ -294,10 +316,10 @@ class PlanExecutor:
         stats.tuples_produced += len(tuples)
         return tuples
 
-    def _extend(self, join, tuples, var_positions, stats):
+    def _extend(self, run, join, tuples, var_positions, stats):
         out = []
-        allowed = self._pool_restrictions.get(join.var)
-        cache = self._live_cache
+        allowed = run.pools.get(join.var)
+        cache = run.cache
         filter_key = None
         if cache is not None:
             # The per-base candidate set depends only on the navigation
@@ -361,12 +383,12 @@ class PlanExecutor:
         stats.tuples_produced += len(out)
         return out
 
-    def _apply_checks(self, plan, var, tuples, var_positions, stats):
+    def _apply_checks(self, run, plan, var, tuples, var_positions, stats):
         checks = plan.checks_by_var.get(var)
         if not checks:
             return tuples
         ir = self._ir
-        cache = self._live_cache
+        cache = run.cache
         out = []
         for item in tuples:
             ss = item.ss
@@ -433,14 +455,14 @@ class PlanExecutor:
                 )
         return list(best.values())
 
-    def _drop_known_answers(self, tuples, position, stats):
+    def _drop_known_answers(self, run, tuples, position, stats):
         """Discard tuples already answered at a previous relaxation level.
 
         These drops are dedup, not pruning: they count into
         ``answers_deduped`` so ``tuples_pruned`` stays a pure measure of
         the threshold / ``maxScoreGrowth`` mechanism.
         """
-        excluded = self._excluded_answers
+        excluded = run.excluded
         kept = []
         for item in tuples:
             node = item.bindings[position]

@@ -1,6 +1,11 @@
 """Top-K algorithms: DPO, SSO, Hybrid."""
 
-from repro.topk.base import QueryContext, TopKResult, combined_level_cutoff
+from repro.topk.base import (
+    ExecutionSession,
+    QueryContext,
+    TopKResult,
+    combined_level_cutoff,
+)
 from repro.topk.dpo import DPO
 from repro.topk.hybrid import Hybrid
 from repro.topk.ir_first import IRFirstDPO
@@ -9,6 +14,7 @@ from repro.topk.sso import SSO
 
 __all__ = [
     "DPO",
+    "ExecutionSession",
     "Hybrid",
     "IRFirstDPO",
     "NaiveRewriting",

@@ -2,9 +2,13 @@
 
 A :class:`QueryContext` bundles everything the algorithms share per
 document: the IR engine, corpus statistics, the penalty model, the
-selectivity estimator, the plan executor, and a cache of relaxation
-schedules. DPO, SSO and Hybrid are thin strategies over this context, which
-is what makes their benchmark comparison apples-to-apples.
+selectivity estimator, the plan executor, and the bounded
+:class:`~repro.compiled.PlanCache` of compiled queries. DPO, SSO and
+Hybrid are *stateless* strategies over this context: each ``top_k`` call
+compiles (or fetches) an immutable :class:`~repro.compiled.CompiledQuery`
+and threads every piece of per-query mutable state through an
+:class:`ExecutionSession`, so one strategy instance is safely shareable
+across threads.
 """
 
 from __future__ import annotations
@@ -12,15 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from repro.compiled import PlanCache, compile_query
+from repro.concurrency import RWLock
 from repro.ir.engine import IREngine
 from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import LevelTrace
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.plans.eval_cache import EvaluationCache
 from repro.plans.executor import PlanExecutor
 from repro.relax.penalties import UNIFORM_WEIGHTS, PenaltyModel
-from repro.relax.steps import RelaxationSchedule
 from repro.stats.collector import DocumentStatistics
 from repro.stats.selectivity import SelectivityEstimator
 
@@ -31,20 +36,28 @@ class QueryContext:
     Accepts either a plain :class:`~repro.xmltree.document.Document` or a
     :class:`~repro.collection.Corpus`.  Bound to a corpus, the context
     subscribes to appends and extends its caches incrementally: the
-    inverted index and statistics fold in only the new nodes, and the
-    relaxation-schedule cache (whose penalties depend on corpus counts) is
-    dropped.  The penalty model, estimator, and executor read the live
+    inverted index and statistics fold in only the new nodes, and the plan
+    cache (whose schedules' penalties depend on corpus counts) is dropped.
+    The penalty model, estimator, and executor read the live
     statistics/index, so they need no rebuild.
+
+    ``rwlock`` is the context's read/write discipline: queries hold the
+    read side, :meth:`~repro.collection.Corpus.add_document` holds the
+    write side for the whole splice-and-extend transaction.  Bound to a
+    corpus the lock *is* the corpus' lock, so every context over one corpus
+    shares a single discipline; a plain document never mutates, so its
+    private lock is uncontended.
     """
 
     def __init__(self, document, ir_engine=None, statistics=None,
-                 weights=UNIFORM_WEIGHTS):
+                 weights=UNIFORM_WEIGHTS, plan_cache_size=None):
         corpus = None
         if hasattr(document, "add_document") and hasattr(document, "document"):
             corpus = document
             document = corpus.document
         self.corpus = corpus
         self.document = document
+        self.rwlock = corpus.lock if corpus is not None else RWLock()
         # A corpus' all-spanning virtual root (always node 0) must not be
         # counted by the statistics it would otherwise trivially dominate.
         virtual_root_id = 0 if corpus is not None else None
@@ -63,7 +76,10 @@ class QueryContext:
         self.estimator = SelectivityEstimator(self.statistics, self.ir)
         self.eval_cache = EvaluationCache()
         self.executor = PlanExecutor(document, self.ir, eval_cache=self.eval_cache)
-        self._schedules = {}
+        self.plan_cache = (
+            PlanCache() if plan_cache_size is None
+            else PlanCache(plan_cache_size)
+        )
         if corpus is not None:
             corpus.subscribe(self._on_corpus_growth)
 
@@ -71,7 +87,7 @@ class QueryContext:
         """Extend caches over an appended id range instead of rebuilding."""
         self.ir.extend(start_id, end_id)
         self.statistics.extend(start_id, end_id)
-        self._schedules.clear()
+        self.plan_cache.invalidate()
         # Memoized pools / join candidates / contains probes are keyed by
         # node id and document content; any append invalidates them all.
         self.eval_cache.clear()
@@ -81,21 +97,88 @@ class QueryContext:
 
         The executor receives its tracer per ``run`` call; the IR engine is
         long-lived and shared, so tracing is attached for the duration of a
-        traced query and detached afterwards.
+        traced query and detached afterwards.  Because the attachment
+        mutates shared state, the facade runs traced queries under the
+        context's *write* lock (see DESIGN §10).
         """
         self.ir.set_tracer(tracer)
 
-    def schedule(self, query, max_steps=None, skip_useless_gamma=True):
-        """Return (and cache) the relaxation schedule for a query."""
-        key = (query, max_steps, skip_useless_gamma)
-        if key not in self._schedules:
-            self._schedules[key] = RelaxationSchedule(
+    def compile(self, query, max_relaxations=None, skip_useless_gamma=True):
+        """Return the :class:`~repro.compiled.CompiledQuery` for a request.
+
+        Fronted by the bounded, corpus-version-fenced plan cache: a warm
+        hit returns the shared immutable artifact without touching the
+        closure, schedule, or plan builders.
+        """
+        key = (
+            query,
+            max_relaxations,
+            skip_useless_gamma,
+            self.corpus.version if self.corpus is not None else 0,
+        )
+        compiled = self.plan_cache.get(key)
+        if compiled is None:
+            compiled = compile_query(
+                self,
                 query,
-                self.penalties,
-                max_steps=max_steps,
+                max_relaxations=max_relaxations,
                 skip_useless_gamma=skip_useless_gamma,
             )
-        return self._schedules[key]
+            self.plan_cache.put(key, compiled)
+        return compiled
+
+    def schedule(self, query, max_steps=None, skip_useless_gamma=True):
+        """Return (and cache) the relaxation schedule for a query."""
+        return self.compile(
+            query,
+            max_relaxations=max_steps,
+            skip_useless_gamma=skip_useless_gamma,
+        ).schedule
+
+
+class ExecutionSession:
+    """All mutable state of one top-K evaluation, bundled per query.
+
+    Strategies are stateless policies: ``top_k`` creates one session,
+    ``execute`` threads it through every helper, and nothing about the
+    query ever lands on the shared strategy object or the shared context.
+    The fields mirror what the five strategies used to keep in local
+    variables — a tracer, the context's evaluation-cache handle, the
+    cross-level answer-id dedup set, per-level stats/traces, and the level
+    counters the :class:`TopKResult` reports.
+    """
+
+    __slots__ = (
+        "context",
+        "tracer",
+        "eval_cache",
+        "seen",
+        "collected",
+        "stats",
+        "traces",
+        "levels_evaluated",
+        "restarts",
+    )
+
+    def __init__(self, context, tracer=NULL_TRACER):
+        self.context = context
+        self.tracer = tracer
+        self.eval_cache = context.eval_cache
+        self.seen = set()
+        self.collected = []
+        self.stats = []
+        self.traces = []
+        self.levels_evaluated = 0
+        self.restarts = 0
+
+    def run_plan(self, plan, label, **kwargs):
+        """Execute one plan under this session's tracer, recording stats."""
+        result = run_plan_traced(
+            self.context, plan, label, self.tracer, self.traces, **kwargs
+        )
+        self.stats.append(result.stats)
+        self.levels_evaluated += 1
+        return result
 
 
 @dataclass

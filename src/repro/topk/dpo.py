@@ -16,21 +16,26 @@ Properties reproduced from the paper:
 
 For keyword-first ranking every level must be evaluated; for the combined
 scheme the §5.1 cutoff limits how far past the K-th answer DPO walks.
+
+The strategy object is stateless: ``top_k`` compiles (or fetches from the
+plan cache) an immutable :class:`~repro.compiled.CompiledQuery` and runs
+the level walk in :meth:`execute` against a per-query
+:class:`~repro.topk.base.ExecutionSession` — one instance is safely
+shared between threads.
 """
 
 from __future__ import annotations
 
 from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import STRICT
-from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
 from repro.topk.base import (
+    ExecutionSession,
     TopKResult,
     begin_topk_metrics,
     combined_level_cutoff,
     record_topk_metrics,
-    run_plan_traced,
 )
 
 
@@ -47,44 +52,41 @@ class DPO:
         """Return the top-K answers of ``query`` under ``scheme``."""
         context = self._context
         metrics_token = begin_topk_metrics(context)
-        with tracer.span("schedule"):
-            schedule = context.schedule(query, max_steps=max_relaxations)
-        contains_count = len(query.contains)
+        with tracer.span("compile"):
+            compiled = context.compile(query, max_relaxations=max_relaxations)
+        session = ExecutionSession(context, tracer=tracer)
+        with tracer.span("execute"):
+            result = self.execute(compiled, session, k, scheme)
+        return record_topk_metrics(context, result, metrics_token)
 
-        seen = set()
-        collected = []
-        stats = []
-        traces = []
-        levels_evaluated = 0
+    def execute(self, compiled, session, k, scheme=STRUCTURE_FIRST):
+        """Run the DPO level walk over a compiled artifact (stateless)."""
+        schedule = compiled.schedule
+        contains_count = compiled.contains_count()
+
         cutoff = len(schedule)
         reached_level = None
 
         for level in range(len(schedule) + 1):
             if level > cutoff:
                 break
-            entry = schedule.level(level)
-            plan = build_strict_plan(entry.query, context.weights)
+            plan = compiled.strict_plan(level)
             # Answers of earlier levels are excluded inside the executor as
             # soon as the answer variable binds — the paper's §5.2.2 trick
             # for avoiding recomputation across successive relaxations.
-            result = run_plan_traced(
-                context,
+            result = session.run_plan(
                 plan,
                 "level %d" % level,
-                tracer,
-                traces,
                 mode=STRICT,
-                exclude_answer_ids=seen,
+                exclude_answer_ids=session.seen,
             )
-            stats.append(result.stats)
-            levels_evaluated += 1
 
             level_score = schedule.structural_score(level)
             fresh = []
             for answer in result.answers:
-                if answer.node_id in seen:
+                if answer.node_id in session.seen:
                     continue
-                seen.add(answer.node_id)
+                session.seen.add(answer.node_id)
                 fresh.append(
                     ScoredAnswer(
                         node=answer.node,
@@ -96,9 +98,9 @@ class DPO:
             # Within a level all structural scores are equal; order by the
             # scheme's secondary component so appending keeps global order.
             fresh.sort(key=lambda a: scheme.sort_key(a.score), reverse=True)
-            collected.extend(fresh)
+            session.collected.extend(fresh)
 
-            if len(collected) >= k and reached_level is None:
+            if len(session.collected) >= k and reached_level is None:
                 reached_level = level
                 if scheme.requires_all_relaxations:
                     cutoff = len(schedule)
@@ -109,16 +111,15 @@ class DPO:
                 else:
                     cutoff = level  # structure-first: stop right here
 
-        answers = rank_answers(collected, scheme, k)
-        result = TopKResult(
+        answers = rank_answers(session.collected, scheme, k)
+        return TopKResult(
             algorithm=self.name,
-            query=query,
+            query=compiled.tpq,
             k=k,
             scheme=scheme,
             answers=answers,
-            relaxations_used=levels_evaluated - 1,
-            levels_evaluated=levels_evaluated,
-            stats=stats,
-            traces=traces,
+            relaxations_used=session.levels_evaluated - 1,
+            levels_evaluated=session.levels_evaluated,
+            stats=session.stats,
+            traces=session.traces,
         )
-        return record_topk_metrics(context, result, metrics_token)

@@ -10,8 +10,10 @@ so neither resorting on score nor on node id is ever needed. Threshold /
 ``maxScoreGrowth`` pruning applies at bucket granularity.
 
 Operationally Hybrid is SSO with the executor's bucket mode; it inherits
-SSO's selectivity-driven level choice and its restart-on-underestimate
-loop.
+SSO's selectivity-driven level choice, its restart-on-underestimate loop,
+and its stateless compile/execute split (immutable
+:class:`~repro.compiled.CompiledQuery` in, per-query
+:class:`~repro.topk.base.ExecutionSession` through).
 """
 
 from __future__ import annotations

@@ -17,21 +17,24 @@ structural work; when it is unselective (or the contains sits high in the
 pattern, where most elements satisfy it) the filtering is pure overhead —
 the trade-off the paper predicted, measurable with
 ``benchmarks/bench_ablation_ir_first.py``.
+
+Stateless: satisfier sets live in the context's shared (locked)
+:class:`~repro.plans.eval_cache.EvaluationCache`, everything else per
+query in the :class:`~repro.topk.base.ExecutionSession`.
 """
 
 from __future__ import annotations
 
 from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import STRICT
-from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
 from repro.topk.base import (
+    ExecutionSession,
     TopKResult,
     begin_topk_metrics,
     combined_level_cutoff,
     record_topk_metrics,
-    run_plan_traced,
 )
 
 
@@ -84,15 +87,18 @@ class IRFirstDPO:
               tracer=NULL_TRACER):
         context = self._context
         metrics_token = begin_topk_metrics(context)
-        with tracer.span("schedule"):
-            schedule = context.schedule(query, max_steps=max_relaxations)
-        contains_count = len(query.contains)
+        with tracer.span("compile"):
+            compiled = context.compile(query, max_relaxations=max_relaxations)
+        session = ExecutionSession(context, tracer=tracer)
+        with tracer.span("execute"):
+            result = self.execute(compiled, session, k, scheme)
+        return record_topk_metrics(context, result, metrics_token)
 
-        seen = set()
-        collected = []
-        stats = []
-        traces = []
-        levels_evaluated = 0
+    def execute(self, compiled, session, k, scheme=STRUCTURE_FIRST):
+        """DPO's level walk with per-level IR pre-filtering (stateless)."""
+        schedule = compiled.schedule
+        contains_count = compiled.contains_count()
+
         cutoff = len(schedule)
         reached_level = None
 
@@ -100,28 +106,23 @@ class IRFirstDPO:
             if level > cutoff:
                 break
             entry = schedule.level(level)
-            plan = build_strict_plan(entry.query, context.weights)
-            with tracer.span("ir_filter"):
+            plan = compiled.strict_plan(level)
+            with session.tracer.span("ir_filter"):
                 restrictions = self._restrictions_for(entry.query)
-            result = run_plan_traced(
-                context,
+            result = session.run_plan(
                 plan,
                 "level %d" % level,
-                tracer,
-                traces,
                 mode=STRICT,
                 pool_restrictions=restrictions,
-                exclude_answer_ids=seen,
+                exclude_answer_ids=session.seen,
             )
-            stats.append(result.stats)
-            levels_evaluated += 1
 
             level_score = schedule.structural_score(level)
             fresh = []
             for answer in result.answers:
-                if answer.node_id in seen:
+                if answer.node_id in session.seen:
                     continue
-                seen.add(answer.node_id)
+                session.seen.add(answer.node_id)
                 fresh.append(
                     ScoredAnswer(
                         node=answer.node,
@@ -131,9 +132,9 @@ class IRFirstDPO:
                     )
                 )
             fresh.sort(key=lambda a: scheme.sort_key(a.score), reverse=True)
-            collected.extend(fresh)
+            session.collected.extend(fresh)
 
-            if len(collected) >= k and reached_level is None:
+            if len(session.collected) >= k and reached_level is None:
                 reached_level = level
                 if scheme.requires_all_relaxations:
                     cutoff = len(schedule)
@@ -144,16 +145,15 @@ class IRFirstDPO:
                 else:
                     cutoff = level
 
-        answers = rank_answers(collected, scheme, k)
-        result = TopKResult(
+        answers = rank_answers(session.collected, scheme, k)
+        return TopKResult(
             algorithm=self.name,
-            query=query,
+            query=compiled.tpq,
             k=k,
             scheme=scheme,
             answers=answers,
-            relaxations_used=levels_evaluated - 1,
-            levels_evaluated=levels_evaluated,
-            stats=stats,
-            traces=traces,
+            relaxations_used=session.levels_evaluated - 1,
+            levels_evaluated=session.levels_evaluated,
+            stats=session.stats,
+            traces=session.traces,
         )
-        return record_topk_metrics(context, result, metrics_token)

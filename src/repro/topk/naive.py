@@ -13,20 +13,23 @@ what DPO's bookkeeping and SSO's single-plan encoding buy:
 - no answer-id memory across levels — the containment-implied duplicates
   are recomputed at every level and deduplicated only at the end;
 - all answers are collected and sorted once, at the end.
+
+Stateless like its siblings: plans come prebuilt from the
+:class:`~repro.compiled.CompiledQuery`, per-query state rides the
+:class:`~repro.topk.base.ExecutionSession`.
 """
 
 from __future__ import annotations
 
 from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import STRICT
-from repro.plans.plan import build_strict_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.rank.scores import AnswerScore, ScoredAnswer
 from repro.topk.base import (
+    ExecutionSession,
     TopKResult,
     begin_topk_metrics,
     record_topk_metrics,
-    run_plan_traced,
 )
 
 
@@ -42,19 +45,21 @@ class NaiveRewriting:
               tracer=NULL_TRACER):
         context = self._context
         metrics_token = begin_topk_metrics(context)
-        with tracer.span("schedule"):
-            schedule = context.schedule(query, max_steps=max_relaxations)
+        with tracer.span("compile"):
+            compiled = context.compile(query, max_relaxations=max_relaxations)
+        session = ExecutionSession(context, tracer=tracer)
+        with tracer.span("execute"):
+            result = self.execute(compiled, session, k, scheme)
+        return record_topk_metrics(context, result, metrics_token)
+
+    def execute(self, compiled, session, k, scheme=STRUCTURE_FIRST):
+        """Evaluate every level in full over the compiled artifact."""
+        schedule = compiled.schedule
 
         collected = {}
-        stats = []
-        traces = []
         for level in range(len(schedule) + 1):
-            entry = schedule.level(level)
-            plan = build_strict_plan(entry.query, context.weights)
-            result = run_plan_traced(
-                context, plan, "level %d" % level, tracer, traces, mode=STRICT
-            )
-            stats.append(result.stats)
+            plan = compiled.strict_plan(level)
+            result = session.run_plan(plan, "level %d" % level, mode=STRICT)
             level_score = schedule.structural_score(level)
             for answer in result.answers:
                 scored = ScoredAnswer(
@@ -70,15 +75,14 @@ class NaiveRewriting:
                     collected[answer.node_id] = scored
 
         answers = rank_answers(collected.values(), scheme, k)
-        result = TopKResult(
+        return TopKResult(
             algorithm=self.name,
-            query=query,
+            query=compiled.tpq,
             k=k,
             scheme=scheme,
             answers=answers,
             relaxations_used=len(schedule),
-            levels_evaluated=len(schedule) + 1,
-            stats=stats,
-            traces=traces,
+            levels_evaluated=session.levels_evaluated,
+            stats=session.stats,
+            traces=session.traces,
         )
-        return record_topk_metrics(context, result, metrics_token)

@@ -2,27 +2,30 @@
 
 SSO never evaluates intermediate relaxation levels: it uses the selectivity
 estimator to decide statically how many of the cheapest relaxations must be
-encoded to yield at least K answers, builds one plan encoding exactly those
-(Figure 8 style), and evaluates it once with threshold /
-``maxScoreGrowth`` pruning. Intermediate results are kept **sorted on
-score** — the re-sorting cost that motivates Hybrid.
+encoded to yield at least K answers, fetches the prebuilt plan encoding
+exactly those (Figure 8 style) from the compiled artifact, and evaluates it
+once with threshold / ``maxScoreGrowth`` pruning. Intermediate results are
+kept **sorted on score** — the re-sorting cost that motivates Hybrid.
 
 When the estimate was optimistic and fewer than K answers come back,
 SSO restarts with more relaxations encoded (Algorithm 1, lines 11-13).
+
+Like every strategy, SSO is stateless: per-query state lives in the
+:class:`~repro.topk.base.ExecutionSession`, plans in the immutable
+:class:`~repro.compiled.CompiledQuery`.
 """
 
 from __future__ import annotations
 
 from repro.obs.tracer import NULL_TRACER
 from repro.plans.executor import SSO_MODE
-from repro.plans.plan import build_encoded_plan
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
 from repro.topk.base import (
+    ExecutionSession,
     TopKResult,
     begin_topk_metrics,
     combined_level_cutoff,
     record_topk_metrics,
-    run_plan_traced,
 )
 
 
@@ -61,47 +64,45 @@ class SSO:
         """Return the top-K answers of ``query`` under ``scheme``."""
         context = self._context
         metrics_token = begin_topk_metrics(context)
-        with tracer.span("schedule"):
-            schedule = context.schedule(query, max_steps=max_relaxations)
-        contains_count = len(query.contains)
+        with tracer.span("compile"):
+            compiled = context.compile(query, max_relaxations=max_relaxations)
+        session = ExecutionSession(context, tracer=tracer)
+        with tracer.span("execute"):
+            result = self.execute(compiled, session, k, scheme)
+        return record_topk_metrics(context, result, metrics_token)
+
+    def execute(self, compiled, session, k, scheme=STRUCTURE_FIRST):
+        """Run the encoded-plan evaluation (with restarts) — stateless."""
+        schedule = compiled.schedule
+        contains_count = compiled.contains_count()
 
         level = self.choose_level(schedule, k, scheme, contains_count)
-        stats = []
-        traces = []
-        restarts = 0
-        levels_evaluated = 0
 
         while True:
-            plan = build_encoded_plan(schedule, level)
-            result = run_plan_traced(
-                context,
+            plan = compiled.encoded_plan(level)
+            result = session.run_plan(
                 plan,
                 "encoded@level %d" % level,
-                tracer,
-                traces,
                 k=k,
                 scheme=scheme,
                 mode=self._mode,
             )
-            stats.append(result.stats)
-            levels_evaluated += 1
             if len(result.answers) >= k or level >= len(schedule):
                 break
             # Estimate was optimistic: drop more predicates and restart.
             level += 1
-            restarts += 1
+            session.restarts += 1
 
         answers = rank_answers(result.answers, scheme, k)
-        outcome = TopKResult(
+        return TopKResult(
             algorithm=self.name,
-            query=query,
+            query=compiled.tpq,
             k=k,
             scheme=scheme,
             answers=answers,
             relaxations_used=level,
-            levels_evaluated=levels_evaluated,
-            restarts=restarts,
-            stats=stats,
-            traces=traces,
+            levels_evaluated=session.levels_evaluated,
+            restarts=session.restarts,
+            stats=session.stats,
+            traces=session.traces,
         )
-        return record_topk_metrics(context, outcome, metrics_token)

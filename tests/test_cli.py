@@ -65,6 +65,43 @@ class TestQuery:
         assert code == 1
 
 
+class TestQueryBatch:
+    @pytest.fixture()
+    def batch_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "//article\n"
+            "# a comment line\n"
+            "\n"
+            "//section\n"
+        )
+        return str(path)
+
+    def test_batch_runs_every_query_in_order(self, xml_file, batch_file):
+        code, output = run(
+            ["query", xml_file, batch_file, "--batch", "--workers", "2", "-k", "2"]
+        )
+        assert code == 0
+        assert "# 2 quer(ies)" in output and "workers=2" in output
+        assert output.index("//article") < output.index("//section")
+        assert "<article>" in output and "<section>" in output
+
+    def test_batch_matches_single_query_answers(self, xml_file, batch_file):
+        _code, batch_output = run(
+            ["query", xml_file, batch_file, "--batch", "-k", "2"]
+        )
+        _code, single_output = run(["query", xml_file, "//article", "-k", "2"])
+        for line in single_output.splitlines():
+            if line.strip().startswith("1.") or line.strip().startswith("2."):
+                assert line in batch_output
+
+    def test_empty_batch_file_is_an_error(self, xml_file, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        code, _output = run(["query", xml_file, str(path), "--batch"])
+        assert code == 1
+
+
 class TestOtherCommands:
     def test_exact(self, xml_file):
         code, output = run(["exact", xml_file, "//section"])
@@ -134,6 +171,17 @@ class TestExplainJson:
         )
         assert code == 0
         assert "level 0" in output
+
+    def test_analyze_reports_compile_and_execute_timings(self, xml_file):
+        code, output = run(
+            [
+                "explain", xml_file, "//article[./section/paragraph]",
+                "--analyze", "-k", "3",
+            ]
+        )
+        assert code == 0
+        assert "compile:" in output and "execute:" in output
+        assert output.index("compile:") < output.index("phase breakdown")
 
 
 class TestMetrics:
