@@ -1,0 +1,88 @@
+"""Session-pool benchmarks: checkout overhead, and the acceptance gate.
+
+Not a paper figure. The Engine/Session/Backend split routes every query
+through ``Engine.connect()`` — a pool checkout, the query, a checkin.
+That indirection must stay invisible next to the work it wraps, so these
+benchmarks keep it honest:
+
+- ``test_checkout_checkin`` times a bare checkout/checkin round trip on a
+  warm pool (one lock acquisition and a list pop/append each way);
+- ``test_query_through_session`` times a full pooled query — the serving
+  path production code takes;
+- ``test_checkout_under_5pct_of_query_time`` is the plain (non-benchmark)
+  assertion CI relies on: median checkout+checkin overhead must stay
+  below 5% of the median query time on the same engine.
+"""
+
+import os
+import statistics
+from time import perf_counter
+
+from benchmarks.harness import document_for
+from repro.engine import Engine
+from repro.xmark import PAPER_QUERIES
+
+#: Overridable so CI smoke runs can use a small document.
+SIZE = os.environ.get("FLEXPATH_BENCH_SIZE", "10MB")
+QUERY = PAPER_QUERIES["Q2"]
+
+_engines = {}
+
+
+def _engine():
+    if SIZE not in _engines:
+        # cache=False so the gate compares checkout overhead against real
+        # evaluation work, not against result-cache dict probes.
+        _engines[SIZE] = Engine(document_for(SIZE, seed=42), cache=False)
+    return _engines[SIZE]
+
+
+def test_checkout_checkin(benchmark):
+    """Bare pool round trip: lock + list pop, lock + list append."""
+    engine = _engine()
+    engine.connect().close()  # warm the pool
+
+    def round_trip():
+        engine.connect().close()
+
+    benchmark(round_trip)
+    assert engine.pool.info()["in_use"] == 0
+
+
+def test_query_through_session(benchmark):
+    """The full pooled serving path: checkout, query, checkin."""
+    engine = _engine()
+
+    def serve():
+        with engine.connect() as session:
+            return session.query(QUERY, k=5)
+
+    result = benchmark(serve)
+    assert result.answers
+
+
+def test_checkout_under_5pct_of_query_time():
+    """Acceptance gate: pool overhead < 5% of median query time."""
+    engine = _engine()
+    engine.connect().close()  # warm the pool
+    rounds = 30
+
+    checkout_times = []
+    for _ in range(rounds):
+        started = perf_counter()
+        engine.connect().close()
+        checkout_times.append(perf_counter() - started)
+
+    query_times = []
+    for _ in range(rounds):
+        with engine.connect() as session:
+            started = perf_counter()
+            session.query(QUERY, k=5)
+            query_times.append(perf_counter() - started)
+
+    checkout = statistics.median(checkout_times)
+    query = statistics.median(query_times)
+    assert checkout * 20 <= query, (
+        "pool checkout %.6fs is not under 5%% of query time %.6fs"
+        % (checkout, query)
+    )

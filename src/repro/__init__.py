@@ -17,11 +17,12 @@ Quick start::
         print(answer.node_id, answer.score)
 """
 
+from repro.backend import InMemoryBackend, StorageBackend, as_backend
 from repro.cache import ResultCache
 from repro.collection import Corpus, DocumentCollection
 from repro.compiled import CompiledQuery, PlanCache, compile_query
 from repro.concurrency import RWLock
-from repro.engine import FleXPath
+from repro.engine import Engine, FleXPath
 from repro.plans.eval_cache import EvaluationCache
 from repro.errors import (
     EvaluationError,
@@ -29,9 +30,12 @@ from repro.errors import (
     FTExprParseError,
     InvalidQueryError,
     InvalidRelaxationError,
+    QueryCancelledError,
     QueryParseError,
+    QueryTimeoutError,
     XMLParseError,
 )
+from repro.session import QueryControl, Session, SessionPool
 from repro.ir import IREngine, parse_ftexpr
 from repro.obs import (
     NULL_TRACER,
@@ -74,6 +78,7 @@ __all__ = [
     "DPO",
     "Document",
     "DocumentCollection",
+    "Engine",
     "EvaluationCache",
     "EvaluationError",
     "ExecutionSession",
@@ -83,6 +88,7 @@ __all__ = [
     "Hybrid",
     "IREngine",
     "IRFirstDPO",
+    "InMemoryBackend",
     "InvalidQueryError",
     "InvalidRelaxationError",
     "KEYWORD_FIRST",
@@ -91,8 +97,11 @@ __all__ = [
     "NaiveRewriting",
     "PenaltyModel",
     "PlanCache",
+    "QueryCancelledError",
     "QueryContext",
+    "QueryControl",
     "QueryParseError",
+    "QueryTimeoutError",
     "QueryTrace",
     "RWLock",
     "ResultCache",
@@ -100,12 +109,16 @@ __all__ = [
     "SSO",
     "STRUCTURE_FIRST",
     "ScoredAnswer",
+    "Session",
+    "SessionPool",
     "SlowQueryLog",
+    "StorageBackend",
     "TPQ",
     "TopKResult",
     "Tracer",
     "WeightAssignment",
     "XMLParseError",
+    "as_backend",
     "build_document",
     "compile_query",
     "disable_slow_query_log",

@@ -78,6 +78,11 @@ def build_parser():
         "--workers", type=int, default=4, metavar="N",
         help="thread-pool width for --batch (default 4)",
     )
+    query.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-query evaluation budget; queries past it abort with"
+        " a timeout error",
+    )
 
     exact = commands.add_parser("exact", help="strict evaluation, no relaxation")
     exact.add_argument("file")
@@ -249,6 +254,8 @@ def _snippet(document, node, width=60):
 
 
 def _cmd_query(engine, args, out):
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise FleXPathError("--deadline-ms must be positive")
     if args.batch:
         return _cmd_query_batch(engine, args, out)
     result = engine.query(
@@ -257,6 +264,7 @@ def _cmd_query(engine, args, out):
         scheme=args.scheme,
         algorithm=args.algorithm,
         max_relaxations=args.max_relaxations,
+        deadline_ms=args.deadline_ms,
     )
     print(
         "# %s, %s, K=%d, relaxations used: %d"
@@ -279,6 +287,8 @@ def _cmd_query(engine, args, out):
 
 
 def _cmd_query_batch(engine, args, out):
+    if args.workers < 1:
+        raise FleXPathError("--workers must be >= 1")
     with open(args.query, "r", encoding="utf-8") as handle:
         lines = [line.strip() for line in handle]
     queries = [line for line in lines if line and not line.startswith("#")]
@@ -291,6 +301,7 @@ def _cmd_query_batch(engine, args, out):
         algorithm=args.algorithm,
         max_relaxations=args.max_relaxations,
         workers=args.workers,
+        deadline_ms=args.deadline_ms,
     )
     print(
         "# %d quer(ies), %s, K=%d, workers=%d"

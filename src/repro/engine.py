@@ -1,9 +1,22 @@
-"""The FleXPath system facade (Figure 7).
+"""The Engine serving core and the FleXPath compatibility facade.
 
-One object wires the whole architecture together: parse the user query,
-generate relaxations, evaluate structural predicates through the plan
-engine, evaluate ``contains`` through the IR engine, combine nodes and
-scores, return ranked top-K results.
+The top of the Engine/Session/Backend split (DESIGN §11, mirroring
+SQLAlchemy's engine/pool/dialect architecture):
+
+- :class:`Engine` is the process-wide serving core.  It owns the
+  :class:`~repro.backend.base.StorageBackend`, the per-backend
+  :class:`~repro.topk.base.QueryContext` (and with it all three cache
+  tiers), the five shared stateless strategies, the RWLock discipline (the
+  backend's lock), the process metrics registry handle, and a
+  :class:`~repro.session.SessionPool`.
+- ``Engine.connect()`` checks a :class:`~repro.session.Session` out of the
+  pool; the session runs queries with per-query deadline/cancellation
+  hooks and returns itself on ``close()``/``with`` exit.
+- :class:`FleXPath` — the paper's Figure 7 facade — is a thin
+  compatibility layer over ``Engine.connect()``: every historical entry
+  point (``query``, ``query_many``, ``exact``, ``keyword_search``,
+  ``relaxations``, ``explain``, the constructors) keeps its exact
+  behavior, implemented by borrowing a pooled session per call.
 
 Typical use::
 
@@ -17,24 +30,31 @@ Typical use::
     )
     for answer in results.answers:
         print(answer.node.tag, answer.score)
+
+or, SQLAlchemy-style, against the engine directly::
+
+    from repro import Engine
+
+    core = Engine.from_xml(xml_text)
+    with core.connect() as session:
+        result = session.query("//article[./title]", k=5, deadline_ms=50)
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from functools import lru_cache
-from time import perf_counter
 
+from repro.backend import as_backend
 from repro.cache import ResultCache
 from repro.errors import FleXPathError
-from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
-from repro.obs.trace import build_query_trace
-from repro.obs.tracer import Tracer
-from repro.query.parser import parse_query
-from repro.query.tpq import TPQ
-from repro.rank.schemes import STRUCTURE_FIRST, scheme_by_name
+from repro.rank.schemes import STRUCTURE_FIRST
 from repro.relax.penalties import UNIFORM_WEIGHTS
+from repro.session import (
+    DEFAULT_POOL_SIZE,
+    SessionPool,
+    coerce_query,
+)
 from repro.topk.base import QueryContext
 from repro.topk.dpo import DPO
 from repro.topk.hybrid import Hybrid
@@ -54,27 +74,29 @@ _ALGORITHMS = {
 
 DEFAULT_ALGORITHM = "hybrid"
 
-#: Process-wide memo for query-text parsing. ``parse_query`` is pure and
-#: :class:`TPQ` is immutable (hashes by canonical structural key), so
-#: sharing parse results across engines and threads is safe; lru_cache's
-#: own lock makes the memo thread-safe.
-_parse_query_memo = lru_cache(maxsize=512)(parse_query)
 
+class Engine:
+    """Process-wide serving core: backend, caches, strategies, pool.
 
-class FleXPath:
-    """Flexible structure + full-text querying over one XML document."""
+    One engine per served backend; everything on it is shared and
+    thread-safe.  Queries go through pooled sessions (:meth:`connect`) or
+    the :meth:`query` / :meth:`query_many` conveniences that borrow one
+    internally.
 
-    def __init__(self, document, weights=UNIFORM_WEIGHTS, cache=True,
-                 result_cache_size=None):
-        """Wire the facade over a document, corpus, or collection.
+    ``cache=False`` is the kill switch for *both* caching tiers: the
+    per-context :class:`~repro.plans.eval_cache.EvaluationCache` is
+    disabled and no :class:`~repro.cache.ResultCache` is attached, so
+    every query recomputes from scratch (byte-identical answers, useful
+    for benchmarking and verification).
+    """
 
-        ``cache=False`` is the kill switch for *both* caching tiers: the
-        per-context :class:`~repro.plans.eval_cache.EvaluationCache` is
-        disabled and no :class:`~repro.cache.ResultCache` is attached, so
-        every query recomputes from scratch (byte-identical answers,
-        useful for benchmarking and verification).
-        """
-        self._context = QueryContext(document, weights=weights)
+    def __init__(self, source, weights=UNIFORM_WEIGHTS, cache=True,
+                 result_cache_size=None, plan_cache_size=None,
+                 pool_size=DEFAULT_POOL_SIZE):
+        self._backend = as_backend(source)
+        self._context = QueryContext(
+            self._backend, weights=weights, plan_cache_size=plan_cache_size
+        )
         self._algorithms = {
             name: cls(self._context) for name, cls in _ALGORITHMS.items()
         }
@@ -83,16 +105,189 @@ class FleXPath:
                 ResultCache() if result_cache_size is None
                 else ResultCache(result_cache_size)
             )
-            if self._context.corpus is not None:
-                self._context.corpus.subscribe(self._on_corpus_growth)
+            self._backend.subscribe(self._on_backend_growth)
         else:
             self._context.eval_cache.enabled = False
             self._result_cache = None
+        self._pool = SessionPool(self, size=pool_size)
+        self.metrics = REGISTRY
 
-    def _on_corpus_growth(self, corpus, start_id, end_id):
-        # The corpus version in the key already fences stale entries; the
+    def _on_backend_growth(self, backend, start_id, end_id):
+        # The backend version in the key already fences stale entries; the
         # eager clear also frees the memory their answers pin.
         self._result_cache.invalidate()
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text, **kwargs):
+        """Build an engine from an XML string."""
+        return cls(parse_xml(text), **kwargs)
+
+    @classmethod
+    def from_file(cls, path, **kwargs):
+        """Build an engine from an XML file."""
+        return cls(parse_xml_file(path), **kwargs)
+
+    @classmethod
+    def from_corpus(cls, corpus, **kwargs):
+        """Build an engine over a live corpus (stays subscribed)."""
+        return cls(corpus, **kwargs)
+
+    # -- shared state ------------------------------------------------------------
+
+    @property
+    def backend(self):
+        """The :class:`~repro.backend.base.StorageBackend` being served."""
+        return self._backend
+
+    @property
+    def context(self):
+        """The shared :class:`~repro.topk.base.QueryContext`."""
+        return self._context
+
+    @property
+    def document(self):
+        return self._backend.document
+
+    @property
+    def corpus(self):
+        """The bound corpus, or None when built from a single document."""
+        return self._backend.corpus
+
+    @property
+    def lock(self):
+        """The backend's RWLock (queries read, ingest writes)."""
+        return self._backend.lock
+
+    @property
+    def result_cache(self):
+        """The tier-2 :class:`~repro.cache.ResultCache`, or None when off."""
+        return self._result_cache
+
+    @property
+    def pool(self):
+        """The engine's :class:`~repro.session.SessionPool`."""
+        return self._pool
+
+    @property
+    def algorithms(self):
+        """Name → shared stateless strategy instance."""
+        return self._algorithms
+
+    def strategy(self, algorithm=None):
+        """The shared strategy for ``algorithm`` (None = the default)."""
+        if algorithm is None:
+            algorithm = DEFAULT_ALGORITHM
+        try:
+            return self._algorithms[algorithm.lower()]
+        except (KeyError, AttributeError):
+            raise FleXPathError(
+                "unknown algorithm %r (choose from %s)"
+                % (algorithm, ", ".join(sorted(_ALGORITHMS)))
+            ) from None
+
+    def cache_info(self):
+        """One consistent schema across all three caching tiers.
+
+        Every tier reports the same keys — ``entries``, ``max_entries``,
+        ``hits``, ``misses``, ``evictions``, ``invalidations`` — under
+        ``plan_cache`` / ``eval_cache`` / ``result_cache`` (the last is
+        None when caching is disabled).
+        """
+        return {
+            "enabled": self._result_cache is not None,
+            "plan_cache": self._context.plan_cache.info(),
+            "eval_cache": self._context.eval_cache.info(),
+            "result_cache": (
+                self._result_cache.info()
+                if self._result_cache is not None
+                else None
+            ),
+        }
+
+    # -- serving -----------------------------------------------------------------
+
+    def connect(self):
+        """Check a :class:`~repro.session.Session` out of the pool.
+
+        Use as a context manager; ``close()`` (or the ``with`` exit)
+        returns the session::
+
+            with engine.connect() as session:
+                session.query("//article", k=5)
+        """
+        return self._pool.checkout()
+
+    def query(self, query, **kwargs):
+        """Evaluate one query on a borrowed pooled session.
+
+        Accepts everything :meth:`repro.session.Session.query` does,
+        including ``deadline_ms`` and ``trace``.
+        """
+        session = self._pool.checkout()
+        try:
+            return session.query(query, **kwargs)
+        finally:
+            session.close()
+
+    def query_many(self, queries, k=10, scheme=STRUCTURE_FIRST,
+                   algorithm=None, max_relaxations=None, workers=4,
+                   deadline_ms=None):
+        """Evaluate a batch concurrently; results keep input order.
+
+        Each query runs through :meth:`query` on a worker thread — its own
+        pooled session, same caching, metrics, and events as a sequential
+        loop — under the backend read lock, so the batch interleaves
+        safely with concurrent ingest.  ``deadline_ms`` applies per query,
+        not to the whole batch.
+
+        Args:
+            queries: iterable of XPath-fragment strings or TPQs.
+            workers: thread-pool width (1 degrades to a plain loop).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if workers < 1:
+            raise FleXPathError("workers must be >= 1")
+
+        def run(tpq):
+            return self.query(
+                tpq, k=k, scheme=scheme, algorithm=algorithm,
+                max_relaxations=max_relaxations, deadline_ms=deadline_ms,
+            )
+
+        if workers == 1 or len(queries) == 1:
+            return [run(tpq) for tpq in queries]
+        with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as pool:
+            return list(pool.map(run, queries))
+
+    def __repr__(self):
+        return "Engine(%r, pool=%r)" % (self._backend, self._pool)
+
+
+class FleXPath:
+    """Flexible structure + full-text querying over one XML document.
+
+    The paper's Figure 7 facade, kept API-identical across the
+    Engine/Session/Backend split: it now wires an :class:`Engine` and
+    borrows a pooled session per call.  Use :attr:`engine` (or build an
+    :class:`Engine` directly) for explicit session control.
+    """
+
+    def __init__(self, document, weights=UNIFORM_WEIGHTS, cache=True,
+                 result_cache_size=None):
+        """Wire the facade over a document, corpus, or collection.
+
+        ``cache=False`` disables both caching tiers (see :class:`Engine`).
+        """
+        self._engine = Engine(
+            document, weights=weights, cache=cache,
+            result_cache_size=result_cache_size,
+        )
+        self._context = self._engine.context
+        self._algorithms = self._engine.algorithms
 
     # -- constructors ------------------------------------------------------------
 
@@ -146,13 +341,18 @@ class FleXPath:
     # -- accessors ----------------------------------------------------------------
 
     @property
+    def engine(self):
+        """The underlying :class:`Engine` serving core."""
+        return self._engine
+
+    @property
     def document(self):
-        return self._context.document
+        return self._engine.document
 
     @property
     def corpus(self):
         """The bound corpus, or None when built from a single document."""
-        return self._context.corpus
+        return self._engine.corpus
 
     @property
     def context(self):
@@ -162,35 +362,25 @@ class FleXPath:
     @property
     def result_cache(self):
         """The tier-2 :class:`~repro.cache.ResultCache`, or None when off."""
-        return self._result_cache
+        return self._engine.result_cache
 
     def cache_info(self):
-        """A JSON-safe summary of all three caching tiers."""
-        eval_cache = self._context.eval_cache
-        info = {
-            "enabled": self._result_cache is not None,
-            "eval_cache": eval_cache.metrics_snapshot(),
-            "eval_cache_entries": eval_cache.entry_count(),
-            "plan_cache": self._context.plan_cache.info(),
-        }
-        if self._result_cache is not None:
-            result_info = self._result_cache.info()
-            info["result_cache_entries"] = result_info["entries"]
-            info["result_cache"] = result_info
-        return info
+        """A JSON-safe summary of all three caching tiers (one schema)."""
+        return self._engine.cache_info()
 
     # -- querying -----------------------------------------------------------------
 
     def parse(self, query_text):
         """Parse an XPath-fragment string into a TPQ."""
-        return parse_query(query_text)
+        return coerce_query(query_text)
 
     def query(self, query, k=10, scheme=STRUCTURE_FIRST,
-              algorithm=DEFAULT_ALGORITHM, max_relaxations=None, trace=False):
+              algorithm=DEFAULT_ALGORITHM, max_relaxations=None, trace=False,
+              deadline_ms=None):
         """Evaluate a top-K query with relaxation.
 
         Args:
-            query: an XPath-fragment string or a :class:`TPQ`.
+            query: an XPath-fragment string or a :class:`~repro.query.tpq.TPQ`.
             k: how many answers to return.
             scheme: a ranking scheme object or name ("structure-first",
                 "keyword-first", "combined").
@@ -199,159 +389,38 @@ class FleXPath:
             trace: when True, evaluate with tracing on and return a
                 :class:`~repro.obs.QueryTrace` (the result is its
                 ``.result``) instead of the bare result.
+            deadline_ms: per-query evaluation budget; raises
+                :class:`~repro.errors.QueryTimeoutError` on expiry.
 
         Returns:
             A :class:`~repro.topk.base.TopKResult`, or a
             :class:`~repro.obs.QueryTrace` wrapping one when ``trace``.
         """
-        tpq = self._coerce_query(query)
-        if isinstance(scheme, str):
-            scheme = scheme_by_name(scheme)
-        try:
-            strategy = self._algorithms[algorithm.lower()]
-        except (KeyError, AttributeError):
-            raise FleXPathError(
-                "unknown algorithm %r (choose from %s)"
-                % (algorithm, ", ".join(sorted(_ALGORITHMS)))
-            ) from None
-        query_text = query if isinstance(query, str) else tpq.to_xpath()
-        if HUB.active:
-            HUB.emit(
-                "query_start",
-                {
-                    "query": query_text,
-                    "k": k,
-                    "algorithm": strategy.name,
-                    "scheme": scheme.name,
-                    "traced": bool(trace),
-                },
-            )
-        started = perf_counter()
-        query_trace = None
-        cache_key = None
-        if self._result_cache is not None and not trace:
-            # Traced queries bypass the result cache — the caller asked to
-            # watch the evaluation, so returning a memo would be useless.
-            corpus = self._context.corpus
-            cache_key = (
-                tpq,
-                k,
-                scheme.name,
-                strategy.name,
-                max_relaxations,
-                corpus.version if corpus is not None else 0,
-            )
-            cached = self._result_cache.get(cache_key)
-            if cached is not None:
-                seconds = perf_counter() - started
-                if REGISTRY.enabled:
-                    REGISTRY.inc("query.count")
-                    REGISTRY.observe("query.seconds", seconds)
-                if HUB.active:
-                    HUB.emit(
-                        "query_end",
-                        {
-                            "query": query_text,
-                            "k": k,
-                            "algorithm": cached.algorithm,
-                            "scheme": scheme.name,
-                            "seconds": seconds,
-                            "levels_evaluated": cached.levels_evaluated,
-                            "relaxations_used": cached.relaxations_used,
-                            "answers": len(cached.answers),
-                            "result": cached,
-                            "trace": None,
-                            "cached": True,
-                        },
-                    )
-                return cached
-        rwlock = self._context.rwlock
-        try:
-            if not trace:
-                # Read lock: any number of queries evaluate concurrently;
-                # ``Corpus.add_document`` (the only mutation) takes write.
-                with rwlock.read_locked():
-                    result = strategy.top_k(
-                        tpq, k, scheme=scheme, max_relaxations=max_relaxations
-                    )
-                if cache_key is not None:
-                    self._result_cache.put(cache_key, result)
-            else:
-                # Traced queries take the WRITE lock: ``attach_tracer``
-                # swaps the tracer on the *shared* IR engine, which would
-                # leak spans into (and race with) concurrent readers.
-                with rwlock.write_locked():
-                    tracer = Tracer()
-                    self._context.attach_tracer(tracer)
-                    try:
-                        result = strategy.top_k(
-                            tpq, k, scheme=scheme,
-                            max_relaxations=max_relaxations, tracer=tracer,
-                        )
-                    finally:
-                        self._context.attach_tracer(None)
-                query_trace = build_query_trace(
-                    result, tracer, perf_counter() - started
-                )
-        except Exception:
-            REGISTRY.inc("query.errors")
-            raise
-        seconds = perf_counter() - started
-        if REGISTRY.enabled:
-            REGISTRY.inc("query.count")
-            REGISTRY.observe("query.seconds", seconds)
-        if HUB.active:
-            HUB.emit(
-                "query_end",
-                {
-                    "query": query_text,
-                    "k": k,
-                    "algorithm": result.algorithm,
-                    "scheme": scheme.name,
-                    "seconds": seconds,
-                    "levels_evaluated": result.levels_evaluated,
-                    "relaxations_used": result.relaxations_used,
-                    "answers": len(result.answers),
-                    "result": result,
-                    "trace": query_trace,
-                    "cached": False,
-                },
-            )
-        return query_trace if trace else result
+        return self._engine.query(
+            query, k=k, scheme=scheme, algorithm=algorithm,
+            max_relaxations=max_relaxations, trace=trace,
+            deadline_ms=deadline_ms,
+        )
 
     def query_many(self, queries, k=10, scheme=STRUCTURE_FIRST,
                    algorithm=DEFAULT_ALGORITHM, max_relaxations=None,
-                   workers=4):
+                   workers=4, deadline_ms=None):
         """Evaluate a batch of queries concurrently; results keep input order.
 
-        Each query runs through :meth:`query` on a worker thread — same
-        caching, metrics, and events as a sequential loop — under the
-        corpus read lock, so the batch interleaves safely with concurrent
-        :meth:`~repro.collection.Corpus.add_document` calls. Strategies
-        are stateless (all per-query state lives in an
-        :class:`~repro.topk.base.ExecutionSession`), which is what makes
-        sharing one engine across the pool sound.
+        Each query runs on its own pooled session worker — same caching,
+        metrics, and events as a sequential loop — under the backend read
+        lock, so the batch interleaves safely with concurrent ingest.
 
         Args:
-            queries: iterable of XPath-fragment strings or :class:`TPQ`\\ s.
+            queries: iterable of XPath-fragment strings or TPQs.
             workers: thread-pool width (1 degrades to a plain loop).
+            deadline_ms: per-query (not whole-batch) evaluation budget.
         """
-        queries = list(queries)
-        if not queries:
-            return []
-        if workers < 1:
-            raise FleXPathError("workers must be >= 1")
-
-        def run(tpq):
-            return self.query(
-                tpq, k=k, scheme=scheme, algorithm=algorithm,
-                max_relaxations=max_relaxations,
-            )
-
-        if workers == 1 or len(queries) == 1:
-            return [run(tpq) for tpq in queries]
-        with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as pool:
-            return list(pool.map(run, queries))
+        return self._engine.query_many(
+            queries, k=k, scheme=scheme, algorithm=algorithm,
+            max_relaxations=max_relaxations, workers=workers,
+            deadline_ms=deadline_ms,
+        )
 
     def exact(self, query):
         """Evaluate with strict XPath semantics — no relaxation.
@@ -359,9 +428,12 @@ class FleXPath:
         Returns the list of matching nodes in document order (the baseline
         the paper's "strict interpretation" discussion refers to).
         """
+        from time import perf_counter
+
+        from repro.obs.events import HUB
         from repro.query.evaluate import evaluate
 
-        tpq = self._coerce_query(query)
+        tpq = coerce_query(query)
         query_text = query if isinstance(query, str) else tpq.to_xpath()
         if HUB.active:
             HUB.emit(
@@ -421,12 +493,14 @@ class FleXPath:
     def relaxations(self, query, max_steps=None):
         """Return the relaxation schedule FleXPath would use for a query."""
         return self._context.schedule(
-            self._coerce_query(query), max_steps=max_steps
+            coerce_query(query), max_steps=max_steps
         )
 
     def explain(self, query, k=10, scheme=STRUCTURE_FIRST):
         """Return a human-readable description of the evaluation strategy."""
-        tpq = self._coerce_query(query)
+        from repro.rank.schemes import scheme_by_name
+
+        tpq = coerce_query(query)
         if isinstance(scheme, str):
             scheme = scheme_by_name(scheme)
         schedule = self._context.schedule(tpq)
@@ -445,11 +519,7 @@ class FleXPath:
     # -- internals ------------------------------------------------------------------
 
     def _coerce_query(self, query):
-        if isinstance(query, TPQ):
-            return query
-        if isinstance(query, str):
-            return _parse_query_memo(query)
-        raise FleXPathError("query must be a TPQ or an XPath string")
+        return coerce_query(query)
 
     def _contains_oracle(self):
         ir = self._context.ir

@@ -50,3 +50,16 @@ class InvalidRelaxationError(FleXPathError):
 
 class EvaluationError(FleXPathError):
     """Raised when query evaluation fails for reasons other than bad input."""
+
+
+class QueryTimeoutError(FleXPathError):
+    """Raised when a query runs past its session deadline.
+
+    The deadline is checked at plan boundaries (before every level) and at
+    join boundaries inside the executor, so a timed-out query aborts
+    between pipeline steps with all shared state consistent.
+    """
+
+
+class QueryCancelledError(FleXPathError):
+    """Raised inside a query whose session was cancelled from another thread."""

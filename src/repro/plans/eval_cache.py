@@ -68,6 +68,7 @@ class EvaluationCache:
         "_hits",
         "_misses",
         "_flushes",
+        "_invalidations",
         "_lock",
     )
 
@@ -81,6 +82,7 @@ class EvaluationCache:
         self._hits = dict.fromkeys(CACHE_NAMES, 0)
         self._misses = dict.fromkeys(CACHE_NAMES, 0)
         self._flushes = 0
+        self._invalidations = 0
         self._lock = threading.Lock()
 
     # -- probe bookkeeping ---------------------------------------------------
@@ -190,6 +192,13 @@ class EvaluationCache:
     def clear(self):
         """Drop every entry (corpus growth / test isolation); counters stay."""
         with self._lock:
+            if (
+                self._pools
+                or self._joins
+                or self._contains
+                or self._satisfier_sets
+            ):
+                self._invalidations += 1
             self._pools.clear()
             self._joins.clear()
             self._contains.clear()
@@ -203,6 +212,22 @@ class EvaluationCache:
             + len(self._contains)
             + len(self._satisfier_sets)
         )
+
+    def info(self):
+        """Instance counters, same schema as the plan and result caches.
+
+        ``hits``/``misses`` aggregate across the four sub-caches (the
+        per-cache split is in :meth:`metrics_snapshot`); ``evictions`` is
+        the budget-flush count, ``invalidations`` the growth/clear count.
+        """
+        return {
+            "entries": self.entry_count(),
+            "max_entries": self.max_entries,
+            "hits": sum(self._hits.values()),
+            "misses": sum(self._misses.values()),
+            "evictions": self._flushes,
+            "invalidations": self._invalidations,
+        }
 
     # -- metrics -------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import asdict, dataclass
 
+from repro.backend import as_backend
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import NULL_TRACER
 from repro.plans.eval_cache import restriction_key
@@ -105,24 +106,28 @@ class _RunState:
 
 
 class PlanExecutor:
-    """Executes plans against one document + IR engine pair.
+    """Executes plans against one StorageBackend + IR engine pair.
 
     Stateless across runs: every :meth:`run` builds a private
     :class:`_RunState`, so one executor instance serves any number of
     concurrent queries (the shared :class:`EvaluationCache` it probes is
     internally locked).
+
+    ``source`` may be a :class:`~repro.backend.base.StorageBackend` or
+    anything :func:`~repro.backend.as_backend` coerces (a bare document, a
+    corpus); all candidate access goes through the backend seam.
     """
 
-    def __init__(self, document, ir_engine, eval_cache=None):
-        self._document = document
-        self._ir = ir_engine
+    def __init__(self, source, ir_engine=None, eval_cache=None):
+        self._backend = as_backend(source, ir_engine=ir_engine)
+        self._ir = ir_engine if ir_engine is not None else self._backend.ir
         self._eval_cache = eval_cache
 
     # -- public entry ---------------------------------------------------------
 
     def run(self, plan, k=None, scheme=STRUCTURE_FIRST, mode=STRICT,
             pool_restrictions=None, exclude_answer_ids=None,
-            tracer=NULL_TRACER):
+            tracer=NULL_TRACER, checkpoint=None):
         """Execute ``plan`` and return deduplicated scored answers.
 
         ``k`` enables threshold pruning (sso/hybrid modes); answers are NOT
@@ -141,6 +146,12 @@ class PlanExecutor:
         ``tracer`` receives one span per phase (seed / extend / checks /
         dedup / project / prune / sort / bucket / collect); the default
         no-op tracer makes an untraced run cost nothing extra.
+
+        ``checkpoint`` is the session deadline/cancellation hook: a
+        zero-argument callable invoked once before seeding and once per
+        join — the coarse-grained boundaries where abandoning a run cannot
+        leave shared state half-mutated.  It aborts by raising (see
+        :class:`~repro.session.QueryControl`); ``None`` costs nothing.
         """
         stats = ExecutionStats()
         cache = self._eval_cache
@@ -183,6 +194,8 @@ class PlanExecutor:
                 return None
             return heapq.nlargest(k, guaranteed_by_node.values())[-1]
 
+        if checkpoint is not None:
+            checkpoint()
         with tracer.span("seed"):
             tuples = self._seed(run, plan, stats)
         if run.excluded and plan.distinguished == plan.root_var:
@@ -197,6 +210,8 @@ class PlanExecutor:
         stats.note_intermediate(len(tuples))
 
         for index, join in enumerate(plan.joins):
+            if checkpoint is not None:
+                checkpoint()
             with tracer.span("extend"):
                 tuples = self._extend(run, join, tuples, var_positions, stats)
             if run.excluded and join.var == plan.distinguished:
@@ -299,9 +314,9 @@ class PlanExecutor:
             nodes = cache.get_pool(pool_key)
         if nodes is None:
             if plan.root_tag is not None:
-                candidates = self._document.nodes_with_tag(plan.root_tag)
+                candidates = self._backend.nodes_with_tag(plan.root_tag)
             else:
-                candidates = list(self._document.nodes())
+                candidates = list(self._backend.nodes())
             nodes = []
             for node in candidates:
                 if allowed is not None and node.node_id not in allowed:
@@ -552,13 +567,13 @@ class PlanExecutor:
 
     def _children(self, node, tag):
         if tag is None:
-            return self._document.children(node)
-        return self._document.children_with_tag(node, tag)
+            return self._backend.children(node)
+        return self._backend.children_with_tag(node, tag)
 
     def _descendants(self, node, tag):
         if tag is None:
-            return list(self._document.descendants(node))
-        return self._document.descendants_with_tag(node, tag)
+            return list(self._backend.descendants(node))
+        return self._backend.descendants_with_tag(node, tag)
 
     def _attrs_ok(self, predicates, node):
         for predicate in predicates:

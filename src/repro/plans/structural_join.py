@@ -9,14 +9,10 @@ downstream joins in a left-deep plan expect.
 Two layers share the merge logic:
 
 - the **columnar kernels** (:func:`structural_join_ids`,
-  :func:`semi_join_ancestor_ids`, :func:`semi_join_descendant_ids`) merge
-  directly over the node table's ``ends``/``levels`` int columns and
-  id-sorted input sequences, emitting node *ids*.  In the region encoding a
-  node's id equals its region start, so the id sequences double as the
-  start-sorted inputs and no node views are touched at all — callers
-  materialize views only when projecting answers.  When one side runs dry
-  between matches the kernel skips ahead with :func:`bisect.bisect_left`
-  instead of stepping descendant by descendant.
+  :func:`semi_join_ancestor_ids`, :func:`semi_join_descendant_ids`) live in
+  :mod:`repro.backend.kernels` — they are physical-layer code, part of the
+  :class:`~repro.backend.base.StorageBackend` seam, and are re-exported
+  here unchanged for the join planners.
 - the **node-view API** (:func:`structural_join`, :func:`semi_join_ancestors`,
   :func:`semi_join_descendants`) keeps the original list-of-nodes contract.
   When both inputs are flyweight views of the same columnar store it
@@ -32,12 +28,21 @@ stack scan is needed.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from repro.backend.kernels import (
+    _check_axis,
+    semi_join_ancestor_ids,
+    semi_join_descendant_ids,
+    structural_join_ids,
+)
 
-
-def _check_axis(axis):
-    if axis not in ("ad", "pc"):
-        raise ValueError("axis must be 'ad' or 'pc'")
+__all__ = [
+    "structural_join_ids",
+    "semi_join_ancestor_ids",
+    "semi_join_descendant_ids",
+    "structural_join",
+    "semi_join_ancestors",
+    "semi_join_descendants",
+]
 
 
 def _shared_store(ancestor_list, descendant_list):
@@ -48,160 +53,6 @@ def _shared_store(ancestor_list, descendant_list):
     if store is None or getattr(descendant_list[0], "_store", None) is not store:
         return None
     return store
-
-
-# -- columnar kernels (id in, id out) -----------------------------------------
-
-
-def structural_join_ids(ends, levels, ancestor_ids, descendant_ids, axis="ad"):
-    """Columnar join: id-sorted id sequences in, ``(aid, did)`` pairs out.
-
-    ``ends`` and ``levels`` are the node table's columns (indexable by node
-    id); node ids equal region starts, so the sorted id sequences are the
-    start-sorted join inputs.  Pairs come out sorted by descendant id.
-    """
-    _check_axis(axis)
-    results = []
-    stack = []
-    a_index = 0
-    d_index = 0
-    a_len = len(ancestor_ids)
-    d_len = len(descendant_ids)
-    parent_only = axis == "pc"
-
-    while d_index < d_len:
-        descendant = descendant_ids[d_index]
-        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
-            # Nothing open and the next candidate starts later: every
-            # descendant before it cannot match — bisect straight there.
-            d_index = bisect_left(
-                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
-            )
-            continue
-        # Push every ancestor candidate opening before this descendant.
-        while a_index < a_len and ancestor_ids[a_index] < descendant:
-            candidate = ancestor_ids[a_index]
-            while stack and ends[stack[-1]] <= candidate:
-                stack.pop()
-            stack.append(candidate)
-            a_index += 1
-        # Pop ancestors whose region closed before this descendant; the
-        # survivors form a nested chain of regions all containing it.
-        while stack and ends[stack[-1]] <= descendant:
-            stack.pop()
-        if parent_only:
-            if stack:
-                top = stack[-1]
-                if levels[top] + 1 == levels[descendant]:
-                    results.append((top, descendant))
-        else:
-            for ancestor in stack:
-                results.append((ancestor, descendant))
-        d_index += 1
-    return results
-
-
-def semi_join_descendant_ids(ends, levels, ancestor_ids, descendant_ids,
-                             axis="ad"):
-    """Ids from ``descendant_ids`` with at least one joining ancestor.
-
-    Deduplicates during the merge (a descendant matches at most once per
-    pass) and never materializes the pair list; output stays id-sorted by
-    construction.
-    """
-    _check_axis(axis)
-    kept = []
-    stack = []
-    a_index = 0
-    d_index = 0
-    a_len = len(ancestor_ids)
-    d_len = len(descendant_ids)
-    parent_only = axis == "pc"
-
-    while d_index < d_len:
-        descendant = descendant_ids[d_index]
-        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
-            d_index = bisect_left(
-                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
-            )
-            continue
-        while a_index < a_len and ancestor_ids[a_index] < descendant:
-            candidate = ancestor_ids[a_index]
-            while stack and ends[stack[-1]] <= candidate:
-                stack.pop()
-            stack.append(candidate)
-            a_index += 1
-        while stack and ends[stack[-1]] <= descendant:
-            stack.pop()
-        if stack and (
-            not parent_only or levels[stack[-1]] + 1 == levels[descendant]
-        ):
-            kept.append(descendant)
-        d_index += 1
-    return kept
-
-
-def semi_join_ancestor_ids(ends, levels, ancestor_ids, descendant_ids,
-                           axis="ad"):
-    """Ids from ``ancestor_ids`` with at least one joining descendant.
-
-    Matches are collected into a set during the merge and emitted by one
-    ordered filter pass over the input — no pair list, no re-sort.  Once
-    every open ancestor is marked the descendant scan skips ahead to the
-    next unopened candidate.
-    """
-    _check_axis(axis)
-    matched = set()
-    stack = []
-    a_index = 0
-    d_index = 0
-    a_len = len(ancestor_ids)
-    d_len = len(descendant_ids)
-    parent_only = axis == "pc"
-
-    while d_index < d_len:
-        descendant = descendant_ids[d_index]
-        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
-            d_index = bisect_left(
-                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
-            )
-            continue
-        while a_index < a_len and ancestor_ids[a_index] < descendant:
-            candidate = ancestor_ids[a_index]
-            while stack and ends[stack[-1]] <= candidate:
-                stack.pop()
-            stack.append(candidate)
-            a_index += 1
-        while stack and ends[stack[-1]] <= descendant:
-            stack.pop()
-        if parent_only:
-            if stack:
-                top = stack[-1]
-                if levels[top] + 1 == levels[descendant]:
-                    matched.add(top)
-        else:
-            # Walk deepest-first: when an entry is already matched, every
-            # entry below it was open at that earlier match too.
-            for ancestor in reversed(stack):
-                if ancestor in matched:
-                    break
-                matched.add(ancestor)
-        if (
-            not parent_only
-            and stack
-            and len(matched) == a_index
-            and a_index < a_len
-        ):
-            # Every pushed ancestor already matched: skip to the first
-            # descendant that could open a new candidate.
-            d_index = bisect_left(
-                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
-            )
-            continue
-        d_index += 1
-    if len(matched) == a_len:
-        return list(ancestor_ids)
-    return [node_id for node_id in ancestor_ids if node_id in matched]
 
 
 # -- node-view API ------------------------------------------------------------

@@ -1,0 +1,394 @@
+"""The pooled Session layer: per-query serving state over a shared Engine.
+
+The SQLAlchemy-inspired middle of the Engine/Session/Backend split (DESIGN
+§11): the :class:`~repro.engine.Engine` owns process-wide state — backend,
+cache tiers, strategies, the RWLock — while a :class:`Session` carries the
+state of one serving conversation: the in-flight :class:`QueryControl`
+(deadline + cancellation), per-session counters, and the checkout handle
+back to the :class:`SessionPool` it came from.
+
+Sessions are cheap, but not free to construct on a hot serving path, so
+the engine keeps a bounded pool of idle ones: ``Engine.connect()`` checks
+one out, ``Session.close()`` (or the ``with`` block) returns it.  The pool
+never blocks — checkouts beyond the bound create overflow sessions that
+are discarded on checkin, QueuePool style — and publishes
+``session_pool.*`` gauges and counters to the process metrics registry.
+
+Deadline/cancellation flow: ``Session.query(deadline_ms=...)`` builds a
+:class:`QueryControl` whose :meth:`~QueryControl.check` raises
+:class:`~repro.errors.QueryTimeoutError` /
+:class:`~repro.errors.QueryCancelledError`.  The control is threaded
+through the strategy into the per-query
+:class:`~repro.topk.base.ExecutionSession` (checked before every plan) and
+into the executor as the per-join ``checkpoint``, so long evaluations stop
+at the next pipeline boundary.  :meth:`Session.cancel` trips the same
+mechanism from another thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from functools import lru_cache
+from time import monotonic, perf_counter
+
+from repro.errors import (
+    FleXPathError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import build_query_trace
+from repro.obs.tracer import Tracer
+from repro.query.parser import parse_query
+from repro.query.tpq import TPQ
+from repro.rank.schemes import STRUCTURE_FIRST, scheme_by_name
+
+#: Idle sessions the pool keeps warm; overflow checkouts are discarded on
+#: checkin rather than ever blocking a query.
+DEFAULT_POOL_SIZE = 8
+
+#: Process-wide memo for query-text parsing. ``parse_query`` is pure and
+#: :class:`TPQ` is immutable (hashes by canonical structural key), so
+#: sharing parse results across engines and threads is safe; lru_cache's
+#: own lock makes the memo thread-safe.
+_parse_query_memo = lru_cache(maxsize=512)(parse_query)
+
+
+def coerce_query(query):
+    """A :class:`TPQ` from a TPQ or XPath-fragment string."""
+    if isinstance(query, TPQ):
+        return query
+    if isinstance(query, str):
+        return _parse_query_memo(query)
+    raise FleXPathError("query must be a TPQ or an XPath string")
+
+
+class QueryControl:
+    """Deadline and cancellation state for one query evaluation.
+
+    ``check()`` is the hook the execution layers call at safe boundaries;
+    it raises to abort.  The object is handed to exactly one query, but
+    ``cancel()`` may be called from any thread (it only sets a flag).
+    """
+
+    __slots__ = ("deadline", "checks", "_cancelled")
+
+    def __init__(self, deadline_ms=None):
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise FleXPathError("deadline_ms must be positive")
+        self.deadline = (
+            monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        self.checks = 0
+        self._cancelled = False
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+    def cancel(self):
+        """Flag the query for abort at its next checkpoint."""
+        self._cancelled = True
+
+    def remaining_ms(self):
+        """Milliseconds until the deadline, or None without one."""
+        if self.deadline is None:
+            return None
+        return max(0.0, (self.deadline - monotonic()) * 1000.0)
+
+    def check(self):
+        """Raise if the query was cancelled or ran past its deadline."""
+        self.checks += 1
+        if self._cancelled:
+            raise QueryCancelledError("query cancelled")
+        if self.deadline is not None and monotonic() > self.deadline:
+            raise QueryTimeoutError("query exceeded its deadline")
+
+
+class Session:
+    """One serving conversation: per-query control over shared engine state.
+
+    Not thread-safe — a session serves one query at a time (that is what
+    the pool is for); the single exception is :meth:`cancel`, which may be
+    called from any thread to abort the in-flight query.
+    """
+
+    __slots__ = ("_engine", "_pool", "_closed", "_control", "queries")
+
+    def __init__(self, engine, pool=None):
+        self._engine = engine
+        self._pool = pool
+        self._closed = False
+        self._control = None
+        self.queries = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def close(self):
+        """Return the session to its pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._control = None
+        if self._pool is not None:
+            self._pool.checkin(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    def cancel(self):
+        """Abort the in-flight query at its next checkpoint (thread-safe)."""
+        control = self._control
+        if control is not None:
+            control.cancel()
+
+    # -- serving ---------------------------------------------------------------
+
+    def query(self, query, k=10, scheme=STRUCTURE_FIRST, algorithm=None,
+              max_relaxations=None, trace=False, deadline_ms=None):
+        """Evaluate one top-K query through the shared engine.
+
+        Identical contract to the historical facade ``query`` — result
+        cache, read/write-lock discipline, events, metrics — plus
+        ``deadline_ms``: a per-query evaluation budget enforced at plan and
+        join boundaries (:class:`~repro.errors.QueryTimeoutError` on
+        expiry).  Traced queries bypass the result cache and run under the
+        write lock, because ``attach_tracer`` mutates the shared IR engine.
+        """
+        if self._closed:
+            raise FleXPathError("session is closed; check out a new one")
+        engine = self._engine
+        context = engine.context
+        result_cache = engine.result_cache
+        tpq = coerce_query(query)
+        if isinstance(scheme, str):
+            scheme = scheme_by_name(scheme)
+        strategy = engine.strategy(algorithm)
+        control = (
+            QueryControl(deadline_ms=deadline_ms)
+            if deadline_ms is not None
+            else None
+        )
+        self._control = control
+        self.queries += 1
+        query_text = query if isinstance(query, str) else tpq.to_xpath()
+        if HUB.active:
+            HUB.emit(
+                "query_start",
+                {
+                    "query": query_text,
+                    "k": k,
+                    "algorithm": strategy.name,
+                    "scheme": scheme.name,
+                    "traced": bool(trace),
+                },
+            )
+        started = perf_counter()
+        query_trace = None
+        cache_key = None
+        try:
+            if result_cache is not None and not trace:
+                # Traced queries bypass the result cache — the caller asked
+                # to watch the evaluation, so returning a memo would be
+                # useless.
+                cache_key = (
+                    tpq,
+                    k,
+                    scheme.name,
+                    strategy.name,
+                    max_relaxations,
+                    engine.backend.version,
+                )
+                cached = result_cache.get(cache_key)
+                if cached is not None:
+                    seconds = perf_counter() - started
+                    if REGISTRY.enabled:
+                        REGISTRY.inc("query.count")
+                        REGISTRY.observe("query.seconds", seconds)
+                    if HUB.active:
+                        HUB.emit(
+                            "query_end",
+                            {
+                                "query": query_text,
+                                "k": k,
+                                "algorithm": cached.algorithm,
+                                "scheme": scheme.name,
+                                "seconds": seconds,
+                                "levels_evaluated": cached.levels_evaluated,
+                                "relaxations_used": cached.relaxations_used,
+                                "answers": len(cached.answers),
+                                "result": cached,
+                                "trace": None,
+                                "cached": True,
+                            },
+                        )
+                    return cached
+            rwlock = context.rwlock
+            try:
+                if not trace:
+                    # Read lock: any number of queries evaluate concurrently;
+                    # ingest (the only mutation) takes the write side.
+                    with rwlock.read_locked():
+                        result = strategy.top_k(
+                            tpq, k, scheme=scheme,
+                            max_relaxations=max_relaxations, control=control,
+                        )
+                    if cache_key is not None:
+                        result_cache.put(cache_key, result)
+                else:
+                    # Traced queries take the WRITE lock: ``attach_tracer``
+                    # swaps the tracer on the *shared* IR engine, which would
+                    # leak spans into (and race with) concurrent readers.
+                    with rwlock.write_locked():
+                        tracer = Tracer()
+                        context.attach_tracer(tracer)
+                        try:
+                            result = strategy.top_k(
+                                tpq, k, scheme=scheme,
+                                max_relaxations=max_relaxations,
+                                tracer=tracer, control=control,
+                            )
+                        finally:
+                            context.attach_tracer(None)
+                    query_trace = build_query_trace(
+                        result, tracer, perf_counter() - started
+                    )
+            except QueryTimeoutError:
+                REGISTRY.inc("query.timeouts")
+                REGISTRY.inc("query.errors")
+                raise
+            except QueryCancelledError:
+                REGISTRY.inc("query.cancellations")
+                REGISTRY.inc("query.errors")
+                raise
+            except Exception:
+                REGISTRY.inc("query.errors")
+                raise
+        finally:
+            self._control = None
+        seconds = perf_counter() - started
+        if REGISTRY.enabled:
+            REGISTRY.inc("query.count")
+            REGISTRY.observe("query.seconds", seconds)
+        if HUB.active:
+            HUB.emit(
+                "query_end",
+                {
+                    "query": query_text,
+                    "k": k,
+                    "algorithm": result.algorithm,
+                    "scheme": scheme.name,
+                    "seconds": seconds,
+                    "levels_evaluated": result.levels_evaluated,
+                    "relaxations_used": result.relaxations_used,
+                    "answers": len(result.answers),
+                    "result": result,
+                    "trace": query_trace,
+                    "cached": False,
+                },
+            )
+        return query_trace if trace else result
+
+
+class SessionPool:
+    """Bounded idle-list of sessions with registry gauges.
+
+    ``size`` bounds only the *idle* list: a checkout when the list is empty
+    creates a fresh (overflow) session rather than blocking, and checkins
+    beyond the bound discard — the QueuePool discipline, minus blocking,
+    because sessions hold no exclusive resources.
+
+    Registry surface: ``session_pool.idle`` / ``session_pool.in_use``
+    gauges, ``session_pool.checkouts`` / ``session_pool.created`` /
+    ``session_pool.discarded`` counters, and a
+    ``session_pool.checkout_seconds`` histogram (the overhead the
+    ``bench_session_pool`` gate bounds below 5% of median query time).
+    """
+
+    def __init__(self, engine, size=DEFAULT_POOL_SIZE):
+        if size < 1:
+            raise FleXPathError("pool size must be >= 1")
+        self._engine = engine
+        self._size = size
+        self._idle = []
+        self._in_use = 0
+        self._checkouts = 0
+        self._created = 0
+        self._discarded = 0
+        self._lock = threading.Lock()
+
+    @property
+    def size(self):
+        return self._size
+
+    def checkout(self):
+        """A ready session — reused from the idle list, or freshly built."""
+        started = perf_counter()
+        with self._lock:
+            session = self._idle.pop() if self._idle else None
+            if session is None:
+                self._created += 1
+            self._in_use += 1
+            self._checkouts += 1
+            idle = len(self._idle)
+            in_use = self._in_use
+        if session is None:
+            session = Session(self._engine, pool=self)
+        else:
+            session._closed = False
+            session._control = None
+        if REGISTRY.enabled:
+            REGISTRY.inc("session_pool.checkouts")
+            REGISTRY.observe(
+                "session_pool.checkout_seconds", perf_counter() - started
+            )
+            REGISTRY.set_gauge("session_pool.idle", idle)
+            REGISTRY.set_gauge("session_pool.in_use", in_use)
+        return session
+
+    def checkin(self, session):
+        """Return a session; beyond the idle bound it is discarded."""
+        with self._lock:
+            self._in_use = max(0, self._in_use - 1)
+            if len(self._idle) < self._size:
+                self._idle.append(session)
+            else:
+                self._discarded += 1
+            idle = len(self._idle)
+            in_use = self._in_use
+        if REGISTRY.enabled:
+            REGISTRY.set_gauge("session_pool.idle", idle)
+            REGISTRY.set_gauge("session_pool.in_use", in_use)
+
+    def info(self):
+        """Instance-level pool counters (JSON-safe)."""
+        with self._lock:
+            return {
+                "size": self._size,
+                "idle": len(self._idle),
+                "in_use": self._in_use,
+                "checkouts": self._checkouts,
+                "created": self._created,
+                "discarded": self._discarded,
+            }
+
+    def __repr__(self):
+        return "SessionPool(size=%d, idle=%d, in_use=%d)" % (
+            self._size,
+            len(self._idle),
+            self._in_use,
+        )

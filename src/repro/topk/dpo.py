@@ -48,13 +48,13 @@ class DPO:
         self._context = context
 
     def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
-              tracer=NULL_TRACER):
+              tracer=NULL_TRACER, control=None):
         """Return the top-K answers of ``query`` under ``scheme``."""
         context = self._context
         metrics_token = begin_topk_metrics(context)
         with tracer.span("compile"):
             compiled = context.compile(query, max_relaxations=max_relaxations)
-        session = ExecutionSession(context, tracer=tracer)
+        session = ExecutionSession(context, tracer=tracer, control=control)
         with tracer.span("execute"):
             result = self.execute(compiled, session, k, scheme)
         return record_topk_metrics(context, result, metrics_token)

@@ -59,11 +59,11 @@ class IRFirstDPO:
 
         def compute():
             ir = context.ir
-            document = context.document
+            backend = context.backend
             if tag is None:
-                pool = document.nodes()
+                pool = backend.nodes()
             else:
-                pool = document.nodes_with_tag(tag)
+                pool = backend.nodes_with_tag(tag)
             return frozenset(
                 node.node_id for node in pool if ir.satisfies(node, ftexpr)
             )
@@ -84,12 +84,12 @@ class IRFirstDPO:
         return restrictions
 
     def top_k(self, query, k, scheme=STRUCTURE_FIRST, max_relaxations=None,
-              tracer=NULL_TRACER):
+              tracer=NULL_TRACER, control=None):
         context = self._context
         metrics_token = begin_topk_metrics(context)
         with tracer.span("compile"):
             compiled = context.compile(query, max_relaxations=max_relaxations)
-        session = ExecutionSession(context, tracer=tracer)
+        session = ExecutionSession(context, tracer=tracer, control=control)
         with tracer.span("execute"):
             result = self.execute(compiled, session, k, scheme)
         return record_topk_metrics(context, result, metrics_token)

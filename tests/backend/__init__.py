@@ -1,0 +1,1 @@
+"""Backend conformance suite: every StorageBackend serves identical data."""

@@ -64,6 +64,20 @@ class TestQuery:
         code, _output = run(["query", "/nonexistent.xml", "//a"])
         assert code == 1
 
+    def test_generous_deadline_succeeds(self, xml_file):
+        code, output = run(
+            ["query", xml_file, "//article", "-k", "2", "--deadline-ms", "60000"]
+        )
+        assert code == 0
+        assert "<article>" in output
+
+    def test_nonpositive_deadline_is_an_error(self, xml_file, capsys):
+        code, _output = run(
+            ["query", xml_file, "//article", "--deadline-ms", "0"]
+        )
+        assert code == 1
+        assert "--deadline-ms must be positive" in capsys.readouterr().err
+
 
 class TestQueryBatch:
     @pytest.fixture()
@@ -100,6 +114,23 @@ class TestQueryBatch:
         path.write_text("# only comments\n")
         code, _output = run(["query", xml_file, str(path), "--batch"])
         assert code == 1
+
+    def test_bad_workers_is_a_clean_error(self, xml_file, batch_file, capsys):
+        code, _output = run(
+            ["query", xml_file, batch_file, "--batch", "--workers", "0"]
+        )
+        assert code == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_batch_with_deadline(self, xml_file, batch_file):
+        code, output = run(
+            [
+                "query", xml_file, batch_file, "--batch",
+                "--workers", "2", "--deadline-ms", "60000",
+            ]
+        )
+        assert code == 0
+        assert "# 2 quer(ies)" in output
 
 
 class TestOtherCommands:

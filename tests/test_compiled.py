@@ -222,8 +222,15 @@ class TestFacadeIntegration:
         assert info["enabled"] is True
         assert info["plan_cache"]["misses"] >= 2
         assert info["result_cache"]["evictions"] == 1
-        assert info["result_cache_entries"] == 1
-        assert "eval_cache" in info and "eval_cache_entries" in info
+        assert info["result_cache"]["entries"] == 1
+        # All three tiers report one schema.
+        schema = {
+            "entries", "max_entries", "hits", "misses",
+            "evictions", "invalidations",
+        }
+        for tier in ("plan_cache", "eval_cache", "result_cache"):
+            assert set(info[tier]) == schema
+        assert info["eval_cache"]["entries"] > 0
 
     def test_result_cache_info_instance_counters(self):
         engine = FleXPath.from_xml(LIBRARY_XML)

@@ -25,6 +25,7 @@ class TestRootPackage:
 SUBPACKAGES = [
     "repro.xmltree",
     "repro.ir",
+    "repro.backend",
     "repro.stats",
     "repro.query",
     "repro.relax",
@@ -47,11 +48,15 @@ class TestSubpackages:
         "module_name",
         SUBPACKAGES
         + [
+            "repro.backend.base",
+            "repro.backend.kernels",
+            "repro.backend.memory",
             "repro.cli",
             "repro.collection",
             "repro.datasets",
             "repro.engine",
             "repro.errors",
+            "repro.session",
             "repro.quality",
             "repro.workload",
             "repro.ir.highlight",

@@ -127,8 +127,8 @@ class TestFacade:
         engine.query(QUERY, k=5)
         info = engine.cache_info()
         assert info["enabled"] is True
-        assert info["result_cache_entries"] == 1
-        assert info["eval_cache_entries"] > 0
+        assert info["result_cache"]["entries"] == 1
+        assert info["eval_cache"]["entries"] > 0
 
 
 class TestInvalidation:

@@ -1,0 +1,280 @@
+"""The pooled Session serving layer: pool discipline, deadlines, cancellation."""
+
+import threading
+
+import pytest
+
+from repro.engine import Engine, FleXPath
+from repro.errors import (
+    FleXPathError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
+from repro.session import DEFAULT_POOL_SIZE, QueryControl, SessionPool
+from tests.conftest import LIBRARY_XML
+
+QUERY = '//article[./section[./paragraph and .contains("streaming")]]'
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    REGISTRY.reset()
+    HUB.clear()
+    yield
+    REGISTRY.reset()
+    HUB.clear()
+
+
+def _counter(name):
+    return REGISTRY.as_dict()["counters"].get(name, 0)
+
+
+def _gauge(name):
+    return REGISTRY.as_dict()["gauges"].get(name)
+
+
+@pytest.fixture()
+def engine():
+    return Engine.from_xml(LIBRARY_XML)
+
+
+class TestQueryControl:
+    def test_no_deadline_never_times_out(self):
+        control = QueryControl()
+        for _ in range(5):
+            control.check()
+        assert control.checks == 5
+        assert control.remaining_ms() is None
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(FleXPathError):
+            QueryControl(deadline_ms=0)
+        with pytest.raises(FleXPathError):
+            QueryControl(deadline_ms=-5)
+
+    def test_expired_deadline_raises(self):
+        control = QueryControl(deadline_ms=1e-6)
+        with pytest.raises(QueryTimeoutError):
+            control.check()
+
+    def test_cancel_raises_on_next_check(self):
+        control = QueryControl(deadline_ms=60_000)
+        control.check()
+        control.cancel()
+        assert control.cancelled
+        with pytest.raises(QueryCancelledError):
+            control.check()
+
+    def test_remaining_ms_counts_down(self):
+        control = QueryControl(deadline_ms=60_000)
+        assert 0 < control.remaining_ms() <= 60_000
+
+
+class TestSessionLifecycle:
+    def test_connect_returns_a_working_session(self, engine):
+        with engine.connect() as session:
+            result = session.query(QUERY, k=3)
+        assert result.answers
+
+    def test_close_is_idempotent_and_closed_sessions_refuse(self, engine):
+        session = engine.connect()
+        session.close()
+        session.close()
+        assert session.closed
+        with pytest.raises(FleXPathError):
+            session.query(QUERY)
+
+    def test_session_counts_queries(self, engine):
+        with engine.connect() as session:
+            session.query(QUERY, k=2)
+            session.query("//article", k=2)
+            assert session.queries == 2
+
+    def test_default_algorithm_is_hybrid(self, engine):
+        with engine.connect() as session:
+            result = session.query(QUERY, k=2)
+        assert result.algorithm == "Hybrid"
+
+    def test_unknown_algorithm_is_an_error(self, engine):
+        with engine.connect() as session:
+            with pytest.raises(FleXPathError, match="unknown algorithm"):
+                session.query(QUERY, algorithm="nope")
+
+
+class TestDeadline:
+    def test_tight_deadline_times_out(self, engine):
+        with engine.connect() as session:
+            with pytest.raises(QueryTimeoutError):
+                session.query(QUERY, deadline_ms=1e-6)
+        assert _counter("query.timeouts") == 1
+        assert _counter("query.errors") == 1
+
+    def test_generous_deadline_succeeds(self, engine):
+        with engine.connect() as session:
+            result = session.query(QUERY, k=3, deadline_ms=60_000)
+        assert result.answers
+        assert _counter("query.timeouts") == 0
+
+    def test_engine_query_forwards_deadline(self, engine):
+        with pytest.raises(QueryTimeoutError):
+            engine.query(QUERY, deadline_ms=1e-6)
+
+    def test_facade_forwards_deadline(self):
+        facade = FleXPath.from_xml(LIBRARY_XML)
+        with pytest.raises(QueryTimeoutError):
+            facade.query(QUERY, deadline_ms=1e-6)
+
+    def test_deadline_applies_per_query_in_batch(self, engine):
+        with pytest.raises(QueryTimeoutError):
+            engine.query_many(
+                [QUERY, "//article"], workers=2, deadline_ms=1e-6
+            )
+
+
+class TestCancellation:
+    def test_cancel_before_evaluation_aborts(self, engine):
+        session = engine.connect()
+        # query_start fires after the control is armed, so cancelling from
+        # the event listener aborts at the first checkpoint.
+        HUB.on("query_start", lambda payload: session.cancel())
+        with pytest.raises(QueryCancelledError):
+            session.query(QUERY, deadline_ms=60_000)
+        session.close()
+        assert _counter("query.cancellations") == 1
+        assert _counter("query.errors") == 1
+
+    def test_cancel_from_another_thread(self, engine):
+        session = engine.connect()
+        release = threading.Event()
+
+        def cancel_on_start(payload):
+            session.cancel()
+            release.set()
+
+        HUB.on("query_start", cancel_on_start)
+        with pytest.raises(QueryCancelledError):
+            session.query(QUERY, deadline_ms=60_000)
+        assert release.is_set()
+        session.close()
+
+    def test_cancel_without_inflight_query_is_a_noop(self, engine):
+        session = engine.connect()
+        session.cancel()
+        result = session.query(QUERY, k=2)
+        assert result.answers
+        session.close()
+
+
+class TestSessionPool:
+    def test_bad_size_rejected(self, engine):
+        with pytest.raises(FleXPathError):
+            SessionPool(engine, size=0)
+
+    def test_checkout_reuses_idle_sessions(self, engine):
+        first = engine.connect()
+        first.close()
+        second = engine.connect()
+        assert second is first
+        assert not second.closed
+        second.close()
+
+    def test_overflow_never_blocks_and_discards_on_checkin(self, engine):
+        pool = SessionPool(engine, size=2)
+        sessions = [pool.checkout() for _ in range(5)]
+        assert len({id(s) for s in sessions}) == 5
+        for session in sessions:
+            pool.checkin(session)
+        info = pool.info()
+        assert info == {
+            "size": 2,
+            "idle": 2,
+            "in_use": 0,
+            "checkouts": 5,
+            "created": 5,
+            "discarded": 3,
+        }
+
+    def test_pool_gauges_and_counters(self, engine):
+        pool = SessionPool(engine, size=2)
+        first = pool.checkout()
+        second = pool.checkout()
+        assert _gauge("session_pool.in_use") == 2
+        assert _gauge("session_pool.idle") == 0
+        pool.checkin(first)
+        pool.checkin(second)
+        assert _gauge("session_pool.in_use") == 0
+        assert _gauge("session_pool.idle") == 2
+        assert _counter("session_pool.checkouts") == 2
+        histogram = REGISTRY.as_dict()["histograms"].get(
+            "session_pool.checkout_seconds"
+        )
+        assert histogram["count"] == 2
+
+    def test_engine_pool_size_is_configurable(self):
+        engine = Engine.from_xml(LIBRARY_XML, pool_size=3)
+        assert engine.pool.size == 3
+        default = Engine.from_xml(LIBRARY_XML)
+        assert default.pool.size == DEFAULT_POOL_SIZE
+
+    def test_concurrent_checkouts_are_consistent(self, engine):
+        pool = SessionPool(engine, size=4)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    session = pool.checkout()
+                    pool.checkin(session)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        info = pool.info()
+        assert info["in_use"] == 0
+        assert info["checkouts"] == 400
+        assert info["idle"] <= 4
+
+
+class TestEngineSurface:
+    def test_cache_info_schema_is_consistent(self, engine):
+        engine.query(QUERY, k=3)
+        info = engine.cache_info()
+        assert info["enabled"] is True
+        schema = {
+            "entries", "max_entries", "hits", "misses",
+            "evictions", "invalidations",
+        }
+        for tier in ("plan_cache", "eval_cache", "result_cache"):
+            assert set(info[tier]) == schema, tier
+
+    def test_cache_info_with_caching_off(self):
+        engine = Engine.from_xml(LIBRARY_XML, cache=False)
+        info = engine.cache_info()
+        assert info["enabled"] is False
+        assert info["result_cache"] is None
+
+    def test_sessions_share_the_result_cache(self, engine):
+        with engine.connect() as session:
+            first = session.query(QUERY, k=3)
+        with engine.connect() as session:
+            second = session.query(QUERY, k=3)
+        assert second is first
+
+    def test_facade_exposes_the_engine(self):
+        facade = FleXPath.from_xml(LIBRARY_XML)
+        assert isinstance(facade.engine, Engine)
+        assert facade.context is facade.engine.context
+        assert facade.result_cache is facade.engine.result_cache
+
+    def test_traced_query_through_session(self, engine):
+        with engine.connect() as session:
+            trace = session.query(QUERY, k=3, trace=True)
+        assert trace.result.answers
+        assert trace.spans

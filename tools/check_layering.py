@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Layering gate: query-side code must not import storage internals.
+
+The Engine/Session/Backend split (DESIGN §11) puts every physical concern —
+the columnar node table, the inverted index, document statistics — behind
+the :class:`repro.backend.StorageBackend` seam.  The query-side packages
+(``repro.topk``, ``repro.plans``, ``repro.stats``) may import the backend
+package root and the shared id-kernels, but never the concrete storage
+classes or modules; a direct import would quietly re-couple the layers and
+break every non-default backend.
+
+This script walks the AST of each module under the guarded packages and
+fails (exit 1, one line per violation) on:
+
+- ``import``/``from`` of a banned *module* (e.g. ``repro.ir.index``,
+  ``repro.backend.memory``, ``repro.xmltree.storage``);
+- ``from <anywhere> import <banned name>`` for the concrete storage
+  classes (``NodeTable``, ``ColumnarStore``, ``InvertedIndex``,
+  ``DocumentStatistics``, ``InMemoryBackend``, ``TagDictionary``,
+  ``Posting``).
+
+The one sanctioned escape hatch is a module-level ``__getattr__`` (PEP
+562): a lazy compatibility re-export like
+``repro.stats.collector.DocumentStatistics`` may import the moved class
+inside that function, because nothing executes it until a caller outside
+the guarded packages asks for the name.
+
+Run directly (``python tools/check_layering.py``) or through the pytest
+wrapper in ``tests/test_layering.py``; CI runs both.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Packages that must stay physical-storage-agnostic.
+GUARDED_PACKAGES = ("topk", "plans", "stats")
+
+#: Modules whose import from guarded code pierces the seam.
+BANNED_MODULES = {
+    "repro.xmltree.document",
+    "repro.xmltree.storage",
+    "repro.ir.index",
+    "repro.ir.storage",
+    "repro.backend.memory",
+    "repro.backend.stats",
+}
+
+#: Concrete storage names that must not be imported by name either.
+BANNED_NAMES = {
+    "NodeTable",
+    "ColumnarStore",
+    "InvertedIndex",
+    "DocumentStatistics",
+    "InMemoryBackend",
+    "TagDictionary",
+    "Posting",
+}
+
+#: Backend modules guarded code MAY import (the seam itself).
+ALLOWED_MODULES = {
+    "repro.backend",
+    "repro.backend.base",
+    "repro.backend.kernels",
+}
+
+
+def _walk_guarded(tree):
+    """Walk the module AST, skipping module-level ``__getattr__`` bodies."""
+    stack = [
+        node for node in tree.body
+        if not (
+            isinstance(node, ast.FunctionDef) and node.name == "__getattr__"
+        )
+    ]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _module_violations(path, tree):
+    """Yield ``(lineno, message)`` for every banned import in one module."""
+    for node in _walk_guarded(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in BANNED_MODULES:
+                    yield node.lineno, "imports banned module %r" % alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level:
+                # Relative import: resolve against the package the file
+                # lives in so "from .storage import X" is caught too.
+                parts = path.parts
+                anchor = parts[parts.index("repro"): -1]
+                base = list(anchor[: len(anchor) - node.level + 1])
+                module = ".".join(base + ([module] if module else []))
+            if module in BANNED_MODULES:
+                yield node.lineno, "imports from banned module %r" % module
+                continue
+            allowed = module in ALLOWED_MODULES
+            for alias in node.names:
+                if alias.name in BANNED_NAMES and not allowed:
+                    yield (
+                        node.lineno,
+                        "imports banned name %r from %r" % (alias.name, module),
+                    )
+
+
+def check(src_root):
+    """All layering violations under ``src_root`` as printable strings."""
+    violations = []
+    for package in GUARDED_PACKAGES:
+        for path in sorted((src_root / "repro" / package).rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for lineno, message in _module_violations(path, tree):
+                violations.append("%s:%d: %s" % (path, lineno, message))
+    return violations
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    src_root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src"
+    violations = check(src_root)
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(
+            "layering gate: %d violation(s) — topk/plans/stats must go"
+            " through repro.backend" % len(violations),
+            file=sys.stderr,
+        )
+        return 1
+    print("layering gate: ok (topk/plans/stats import no storage internals)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
