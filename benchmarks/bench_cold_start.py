@@ -1,0 +1,118 @@
+"""Cold-start benchmarks for :class:`repro.backend.disk.DiskBackend`.
+
+Not a paper figure. The point of the on-disk format (DESIGN §12) is that
+reopening a corpus costs a few mmaps plus a WAL replay instead of an XML
+reparse, so these benchmarks keep that promise honest:
+
+- ``test_cold_open`` times ``DiskBackend.open`` on a sealed corpus — the
+  production cold-start path;
+- ``test_reingest_from_xml`` times the path it replaces: parse the XML
+  and splice it into a fresh corpus;
+- ``test_query_on_disk_backend`` times a full engine query served off
+  the mmap'd segment, pinning the *serving* cost of going through disk;
+- ``test_open_at_least_10x_faster_than_reingest`` is the plain
+  (non-benchmark) acceptance gate CI relies on: median ``open()`` must
+  be at least 10× faster than median re-ingest on the same content.
+"""
+
+import atexit
+import os
+import shutil
+import statistics
+import tempfile
+from time import perf_counter
+
+from benchmarks.harness import document_for
+from repro.backend.disk import DiskBackend
+from repro.collection import Corpus
+from repro.engine import Engine
+from repro.xmark import PAPER_QUERIES
+from repro.xmltree import parse
+from repro.xmltree.serialize import to_xml
+
+#: Overridable so CI smoke runs can use a small document.
+SIZE = os.environ.get("FLEXPATH_BENCH_SIZE", "10MB")
+QUERY = PAPER_QUERIES["Q2"]
+
+_prepared = {}
+
+
+def _corpus_state():
+    """Build (once) a sealed on-disk corpus plus its source XML text."""
+    if SIZE not in _prepared:
+        xml_text = to_xml(document_for(SIZE, seed=42))
+        path = tempfile.mkdtemp(prefix="flexpath-coldstart-")
+        atexit.register(shutil.rmtree, path, True)
+        backend = DiskBackend.create(path)
+        backend.add_document(parse(xml_text))
+        backend.compact()
+        backend.close()
+        _prepared[SIZE] = (path, xml_text)
+    return _prepared[SIZE]
+
+
+def test_cold_open(benchmark):
+    """mmap the sealed segment, replay the (empty) WAL, serve."""
+    path, _xml_text = _corpus_state()
+
+    def cold_open():
+        backend = DiskBackend.open(path)
+        count = len(backend)
+        backend.close()
+        return count
+
+    assert benchmark(cold_open) > 0
+
+
+def test_reingest_from_xml(benchmark):
+    """The cost cold open avoids: full XML parse + corpus splice."""
+    _path, xml_text = _corpus_state()
+
+    def reingest():
+        corpus = Corpus()
+        corpus.add_text(xml_text)
+        return len(corpus.document)
+
+    assert benchmark(reingest) > 0
+
+
+def test_query_on_disk_backend(benchmark):
+    """A full engine query answered off the mmap'd segment."""
+    path, _xml_text = _corpus_state()
+    backend = DiskBackend.open(path)
+    engine = Engine(backend, cache=False)
+    try:
+        def serve():
+            return engine.query(QUERY, k=5)
+
+        result = benchmark(serve)
+        assert result.answers
+    finally:
+        backend.close()
+
+
+def test_open_at_least_10x_faster_than_reingest():
+    """Acceptance gate: open() >= 10x faster than re-ingest from XML."""
+    path, xml_text = _corpus_state()
+    rounds = 5
+
+    open_times = []
+    for _ in range(rounds):
+        started = perf_counter()
+        backend = DiskBackend.open(path)
+        backend.close()
+        open_times.append(perf_counter() - started)
+
+    ingest_times = []
+    for _ in range(rounds):
+        corpus = Corpus()
+        started = perf_counter()
+        corpus.add_text(xml_text)
+        ingest_times.append(perf_counter() - started)
+
+    cold_open = statistics.median(open_times)
+    reingest = statistics.median(ingest_times)
+    assert cold_open * 10 <= reingest, (
+        "cold open %.6fs is not 10x faster than re-ingest %.6fs"
+        % (cold_open, reingest)
+    )

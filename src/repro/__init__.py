@@ -18,6 +18,7 @@ Quick start::
 """
 
 from repro.backend import InMemoryBackend, StorageBackend, as_backend
+from repro.backend.disk import DiskBackend
 from repro.cache import ResultCache
 from repro.collection import Corpus, DocumentCollection
 from repro.compiled import CompiledQuery, PlanCache, compile_query
@@ -25,6 +26,7 @@ from repro.concurrency import RWLock
 from repro.engine import Engine, FleXPath
 from repro.plans.eval_cache import EvaluationCache
 from repro.errors import (
+    CorruptStorageError,
     EvaluationError,
     FleXPathError,
     FTExprParseError,
@@ -75,7 +77,9 @@ __all__ = [
     "COMBINED",
     "CompiledQuery",
     "Corpus",
+    "CorruptStorageError",
     "DPO",
+    "DiskBackend",
     "Document",
     "DocumentCollection",
     "Engine",

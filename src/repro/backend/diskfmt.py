@@ -1,0 +1,869 @@
+"""Binary on-disk format for :class:`~repro.backend.disk.DiskBackend`.
+
+Everything here is pure serialization — no locking, no backend state.  The
+format (DESIGN §12) has three kinds of artifact, all little-endian,
+fixed-width (``struct``), and CRC-protected:
+
+- **Column segment** (``columns.bin``): the whole node table of a sealed
+  corpus generation — interned tag dictionary, the four structural
+  ``int32`` columns (tag/parent/level/end), a text blob with a ``uint64``
+  offset table, the sparse attribute table, the per-tag id index, and the
+  fragment table (which source document owns which id range).  Readers
+  ``mmap`` the file: the structural columns hydrate into ``array('i')``
+  with one ``frombytes`` memcpy each (they must stay mutable for WAL-tail
+  growth), while the text payload — usually the bulk of the bytes — is
+  served lazily out of the mapping by :class:`LazyTextColumn` and never
+  materialized wholesale.
+- **Postings segment** (``postings.bin``): the inverted index as a term
+  directory (term, offset, entry count) plus per-term posting blobs.  Only
+  the directory is decoded at open; posting blobs decode on first probe,
+  straight out of the mapping (see ``DiskInvertedIndex``).
+- **Statistics segment** (``stats.bin``): the §4.3.1/§6 counts —
+  tag/pair counters and the distinct parent/ancestor id sets that keep the
+  statistics incrementally extendable after reopen.
+
+Plus the **write-ahead log** (``wal.log``): a 16-byte header (magic +
+generation) followed by self-delimiting records ``FXR1 | u32 length |
+u32 crc32(payload) | payload``, each payload an encoded document fragment.
+:class:`WriteAheadLog` fsyncs every append and, on open, recovers the
+longest valid record prefix, truncating any torn tail in place.
+
+Every reader raises :class:`~repro.errors.CorruptStorageError` — never a
+raw ``struct.error``/``ValueError``/``IndexError`` — naming the file and
+the byte offset where validation failed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import sys
+import zlib
+from array import array
+
+from repro.errors import CorruptStorageError
+from repro.ir.index import Posting
+from repro.xmltree.document import ColumnarStore, Document, TagDictionary
+
+SEGMENT_MAGIC = b"FXSEG001"
+POSTINGS_MAGIC = b"FXPST001"
+STATS_MAGIC = b"FXSTA001"
+WAL_MAGIC = b"FXWAL001"
+RECORD_MAGIC = b"FXR1"
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+WAL_HEADER_LEN = 16  # 8-byte magic + u64 generation
+_RECORD_HEADER = struct.Struct("<4sII")  # magic, payload length, payload crc
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I32 = struct.Struct("<i")
+
+#: ``None`` tag sentinel in statistics keys (a u32 length that no real
+#: tag name can have).
+_NONE_TAG = 0xFFFFFFFF
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+def _int_array_bytes(values):
+    """``array('i')`` payload bytes, always little-endian on disk."""
+    data = values if isinstance(values, array) else array("i", values)
+    if _BIG_ENDIAN:
+        data = array("i", data)
+        data.byteswap()
+    return data.tobytes()
+
+
+def _int_array_from(buffer):
+    """An ``array('i')`` from little-endian payload bytes."""
+    data = array("i")
+    data.frombytes(buffer)
+    if _BIG_ENDIAN:
+        data.byteswap()
+    return data
+
+
+class _Writer:
+    """Accumulates one artifact's bytes; CRC and fsync happen at close."""
+
+    def __init__(self):
+        self._parts = bytearray()
+
+    def raw(self, data):
+        self._parts += data
+
+    def u32(self, value):
+        self._parts += _U32.pack(value)
+
+    def u64(self, value):
+        self._parts += _U64.pack(value)
+
+    def i32(self, value):
+        self._parts += _I32.pack(value)
+
+    def text(self, value):
+        data = value.encode("utf-8")
+        self.u32(len(data))
+        self.raw(data)
+
+    def int_array(self, values):
+        self.raw(_int_array_bytes(values))
+
+    def __len__(self):
+        return len(self._parts)
+
+    def write_to(self, path):
+        """Write payload + trailing CRC32, fsync'd."""
+        self._parts += _U32.pack(zlib.crc32(self._parts))
+        with open(path, "wb") as handle:
+            handle.write(self._parts)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+class _Reader:
+    """Sequential cursor over a buffer; short reads raise CorruptStorageError."""
+
+    __slots__ = ("buffer", "offset", "name")
+
+    def __init__(self, buffer, name, offset=0):
+        self.buffer = buffer
+        self.offset = offset
+        self.name = name
+
+    def fail(self, message):
+        raise CorruptStorageError(
+            "corrupt %s: %s (at byte %d)" % (self.name, message, self.offset)
+        )
+
+    def _take(self, count):
+        end = self.offset + count
+        if end > len(self.buffer):
+            self.fail("unexpected end of file")
+        start = self.offset
+        self.offset = end
+        return start
+
+    def raw(self, count):
+        return bytes(self.buffer[self._take(count) : self.offset])
+
+    def u32(self):
+        return _U32.unpack_from(self.buffer, self._take(4))[0]
+
+    def u64(self):
+        return _U64.unpack_from(self.buffer, self._take(8))[0]
+
+    def i32(self):
+        return _I32.unpack_from(self.buffer, self._take(4))[0]
+
+    def text(self):
+        length = self.u32()
+        try:
+            return self.raw(length).decode("utf-8")
+        except UnicodeDecodeError:
+            self.fail("undecodable text")
+
+    def int_array(self, count):
+        start = self._take(4 * count)
+        return _int_array_from(self.buffer[start : self.offset])
+
+
+def _check_magic_and_crc(buffer, magic, name):
+    """Validate the artifact envelope; returns the payload end offset."""
+    if len(buffer) < len(magic) + 4:
+        raise CorruptStorageError(
+            "corrupt %s: file too short (%d bytes)" % (name, len(buffer))
+        )
+    if bytes(buffer[: len(magic)]) != magic:
+        raise CorruptStorageError(
+            "corrupt %s: bad magic %r" % (name, bytes(buffer[:8]))
+        )
+    payload_end = len(buffer) - 4
+    view = memoryview(buffer)[:payload_end]
+    crc = zlib.crc32(view)
+    view.release()
+    (stored,) = _U32.unpack_from(buffer, payload_end)
+    if crc != stored:
+        raise CorruptStorageError(
+            "corrupt %s: CRC mismatch (stored %08x, computed %08x)"
+            % (name, stored, crc)
+        )
+    return payload_end
+
+
+# -- fragment codec (WAL record payloads) -------------------------------------
+
+
+def encode_fragment(document, name):
+    """One parsed document + its corpus name as a WAL record payload."""
+    store = document.store
+    writer = _Writer()
+    writer.text(name)
+    tags = store.tags.names()
+    writer.u32(len(tags))
+    for tag in tags:
+        writer.text(tag)
+    count = len(store)
+    writer.u32(count)
+    writer.int_array(store.tag_ids)
+    writer.int_array(store.parent_ids)
+    writer.int_array(store.levels)
+    writer.int_array(store.ends)
+    _write_texts(writer, store.texts, count)
+    _write_attributes(writer, store.attribute_table)
+    return bytes(writer._parts)
+
+
+def decode_fragment(payload, name="wal record"):
+    """Rebuild ``(document, name)`` from :func:`encode_fragment` output."""
+    reader = _Reader(payload, name)
+    doc_name = reader.text()
+    tag_count = reader.u32()
+    tags = [reader.text() for _ in range(tag_count)]
+    count = reader.u32()
+    store = ColumnarStore()
+    store.tags = TagDictionary(tags)
+    store.tag_ids = reader.int_array(count)
+    store.parent_ids = reader.int_array(count)
+    store.levels = reader.int_array(count)
+    store.ends = reader.int_array(count)
+    store.texts = _read_texts(reader, count)
+    store.attribute_table = _read_attributes(reader)
+    tag_lists = [array("i") for _ in range(tag_count)]
+    for node_id, tag_id in enumerate(store.tag_ids):
+        if not 0 <= tag_id < tag_count:
+            reader.fail("node %d has unknown tag id %d" % (node_id, tag_id))
+        tag_lists[tag_id].append(node_id)
+    store.tag_node_ids = {
+        tag_id: ids for tag_id, ids in enumerate(tag_lists) if ids
+    }
+    _validate_structure(store, reader)
+    return Document(store), doc_name
+
+
+def _validate_structure(store, reader):
+    count = len(store)
+    parent_ids = store.parent_ids
+    ends = store.ends
+    for node_id in range(count):
+        parent_id = parent_ids[node_id]
+        if parent_id >= node_id:
+            reader.fail("node %d precedes its parent" % node_id)
+        if not node_id < ends[node_id] <= count:
+            reader.fail("node %d has invalid region end" % node_id)
+
+
+def _write_texts(writer, texts, count):
+    blobs = [text.encode("utf-8") for text in texts]
+    writer.u64(count + 1)
+    offset = 0
+    for blob in blobs:
+        writer.u64(offset)
+        offset += len(blob)
+    writer.u64(offset)
+    writer.u64(offset)  # blob length
+    for blob in blobs:
+        writer.raw(blob)
+
+
+def _read_texts(reader, count):
+    offset_count = reader.u64()
+    if offset_count != count + 1:
+        reader.fail(
+            "text offsets disagree with node count (%d vs %d)"
+            % (offset_count, count + 1)
+        )
+    offsets = [reader.u64() for _ in range(offset_count)]
+    blob_len = reader.u64()
+    if offsets and (offsets[-1] != blob_len or offsets != sorted(offsets)):
+        reader.fail("text offset table is inconsistent")
+    blob = reader.raw(blob_len)
+    try:
+        return [
+            blob[offsets[i] : offsets[i + 1]].decode("utf-8")
+            for i in range(count)
+        ]
+    except UnicodeDecodeError:
+        reader.fail("undecodable text payload")
+
+
+def _write_attributes(writer, attribute_table):
+    writer.u32(len(attribute_table))
+    for node_id in sorted(attribute_table):
+        attributes = attribute_table[node_id]
+        writer.i32(node_id)
+        writer.u32(len(attributes))
+        for key in sorted(attributes):
+            writer.text(key)
+            writer.text(attributes[key])
+
+
+def _read_attributes(reader):
+    table = {}
+    for _ in range(reader.u32()):
+        node_id = reader.i32()
+        pairs = reader.u32()
+        table[node_id] = {reader.text(): reader.text() for _ in range(pairs)}
+    return table
+
+
+# -- column segment ------------------------------------------------------------
+
+
+def write_columns(path, store, fragments):
+    """Seal a node table (+ fragment table) into ``columns.bin``."""
+    writer = _Writer()
+    writer.raw(SEGMENT_MAGIC)
+    writer.u32(FORMAT_VERSION)
+    count = len(store)
+    writer.u64(count)
+    tags = store.tags.names()
+    writer.u32(len(tags))
+    writer.u32(len(fragments))
+    for tag in tags:
+        writer.text(tag)
+    writer.int_array(store.tag_ids)
+    writer.int_array(store.parent_ids)
+    writer.int_array(store.levels)
+    writer.int_array(store.ends)
+    _write_texts(writer, store.texts, count)
+    _write_attributes(writer, store.attribute_table)
+    for tag_id in range(len(tags)):
+        ids = store.tag_node_ids.get(tag_id)
+        if ids is None:
+            interned = store.tags.id_of(tags[tag_id])
+            ids = store.tag_node_ids.get(interned, ())
+        writer.u64(len(ids))
+        writer.int_array(ids)
+    for start, end, name in fragments:
+        writer.i32(start)
+        writer.i32(end)
+        writer.text(name)
+    writer.write_to(path)
+
+
+def read_columns(path):
+    """Open a sealed column segment.
+
+    Returns ``(store, fragments, mm)`` — a :class:`ColumnarStore` whose
+    structural columns are hydrated ``array('i')`` copies and whose text
+    column reads lazily out of the returned ``mmap`` (keep it open for the
+    store's lifetime).
+    """
+    import mmap as mmap_module
+
+    name = str(path)
+    try:
+        with open(path, "rb") as handle:
+            mm = mmap_module.mmap(
+                handle.fileno(), 0, access=mmap_module.ACCESS_READ
+            )
+    except (OSError, ValueError) as error:
+        raise CorruptStorageError(
+            "corrupt %s: cannot map segment (%s)" % (name, error)
+        ) from None
+    try:
+        _check_magic_and_crc(mm, SEGMENT_MAGIC, name)
+        reader = _Reader(mm, name, offset=len(SEGMENT_MAGIC))
+        version = reader.u32()
+        if version != FORMAT_VERSION:
+            reader.fail("unsupported segment format version %d" % version)
+        count = reader.u64()
+        tag_count = reader.u32()
+        fragment_count = reader.u32()
+        tags = [reader.text() for _ in range(tag_count)]
+        store = ColumnarStore()
+        store.tags = TagDictionary(tags)
+        store.tag_ids = reader.int_array(count)
+        store.parent_ids = reader.int_array(count)
+        store.levels = reader.int_array(count)
+        store.ends = reader.int_array(count)
+        offset_count = reader.u64()
+        if offset_count != count + 1:
+            reader.fail("text offset table disagrees with node count")
+        offsets_at = reader.offset
+        reader._take(8 * offset_count)
+        blob_len = reader.u64()
+        blob_at = reader._take(blob_len)
+        store.texts = LazyTextColumn(mm, offsets_at, blob_at, count)
+        store.attribute_table = _read_attributes(reader)
+        store.tag_node_ids = {}
+        for tag_id in range(tag_count):
+            ids = reader.int_array(reader.u64())
+            if len(ids):
+                store.tag_node_ids[tag_id] = ids
+        fragments = []
+        for _ in range(fragment_count):
+            start = reader.i32()
+            end = reader.i32()
+            fragments.append((start, end, reader.text()))
+        _validate_structure(store, reader)
+        return store, fragments, mm
+    except CorruptStorageError:
+        mm.close()
+        raise
+    except Exception as error:
+        mm.close()
+        raise CorruptStorageError(
+            "corrupt %s: %s" % (name, error)
+        ) from None
+
+
+class LazyTextColumn:
+    """The text column of a sealed segment: mmap-backed base + list tail.
+
+    List-compatible for every operation the engine performs on
+    ``store.texts`` (index, slice, iterate, append/extend for WAL-tail
+    growth), but the sealed region decodes per access straight out of the
+    segment mapping — the text payload never materializes wholesale, which
+    is what keeps corpora bigger than RAM serveable.
+    """
+
+    __slots__ = ("_mm", "_offsets_at", "_blob_at", "_count", "_tail")
+
+    def __init__(self, mm, offsets_at, blob_at, count):
+        self._mm = mm
+        self._offsets_at = offsets_at
+        self._blob_at = blob_at
+        self._count = count
+        self._tail = []
+
+    def _base_text(self, index):
+        at = self._offsets_at + 8 * index
+        start = _U64.unpack_from(self._mm, at)[0]
+        end = _U64.unpack_from(self._mm, at + 8)[0]
+        return self._mm[self._blob_at + start : self._blob_at + end].decode(
+            "utf-8"
+        )
+
+    def __len__(self):
+        return self._count + len(self._tail)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            return [self[i] for i in range(start, stop, step)]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("text column index out of range")
+        if index < self._count:
+            return self._base_text(index)
+        return self._tail[index - self._count]
+
+    def __setitem__(self, index, text):
+        if index < 0:
+            index += len(self)
+        if index < self._count:
+            raise TypeError("sealed segment texts are immutable")
+        self._tail[index - self._count] = text
+
+    def __iter__(self):
+        for index in range(self._count):
+            yield self._base_text(index)
+        yield from self._tail
+
+    def append(self, text):
+        self._tail.append(text)
+
+    def extend(self, texts):
+        self._tail.extend(texts)
+
+    def __repr__(self):
+        return "LazyTextColumn(sealed=%d, tail=%d)" % (
+            self._count,
+            len(self._tail),
+        )
+
+
+# -- postings segment ----------------------------------------------------------
+
+
+def write_postings(path, postings, text_elements):
+    """Seal a fully materialized ``{term: Posting}`` map into ``postings.bin``."""
+    terms = sorted(postings)
+    blobs = []
+    for term in terms:
+        posting = postings[term]
+        blob = _Writer()
+        for node_id, positions in zip(posting.node_ids, posting.position_lists):
+            blob.i32(node_id)
+            blob.u32(len(positions))
+            for position in positions:
+                blob.u32(position)
+        blobs.append(bytes(blob._parts))
+
+    writer = _Writer()
+    writer.raw(POSTINGS_MAGIC)
+    writer.u32(FORMAT_VERSION)
+    writer.u64(text_elements)
+    writer.u64(len(terms))
+    directory_size = sum(
+        4 + len(term.encode("utf-8")) + 16 for term in terms
+    )
+    offset = len(writer) + directory_size
+    for term, blob in zip(terms, blobs):
+        writer.text(term)
+        writer.u64(offset)
+        writer.u64(len(postings[term].node_ids))
+        offset += len(blob)
+    for blob in blobs:
+        writer.raw(blob)
+    writer.write_to(path)
+
+
+def map_postings(path):
+    """Map a postings segment and verify its envelope (magic + CRC).
+
+    Returns the ``mmap`` only — the directory parse is Python-level work
+    proportional to the vocabulary, so cold start defers it to
+    :func:`parse_postings_directory` on first full-text touch.  The CRC
+    pass here is C-speed and catches torn or flipped segments at
+    ``open()`` time, where the caller can still fail the whole corpus.
+    """
+    import mmap as mmap_module
+
+    name = str(path)
+    try:
+        with open(path, "rb") as handle:
+            mm = mmap_module.mmap(
+                handle.fileno(), 0, access=mmap_module.ACCESS_READ
+            )
+    except (OSError, ValueError) as error:
+        raise CorruptStorageError(
+            "corrupt %s: cannot map postings (%s)" % (name, error)
+        ) from None
+    try:
+        _check_magic_and_crc(mm, POSTINGS_MAGIC, name)
+    except CorruptStorageError:
+        mm.close()
+        raise
+    return mm
+
+
+def parse_postings_directory(mm, name="postings segment"):
+    """Parse the term directory of a mapped (CRC-checked) postings segment.
+
+    Returns ``(directory, text_elements)`` where ``directory`` maps
+    term → ``(offset, entry_count)`` into the mapping.  Decode individual
+    terms with :func:`decode_posting`.
+    """
+    try:
+        payload_end = len(mm) - 4
+        reader = _Reader(mm, name, offset=len(POSTINGS_MAGIC))
+        version = reader.u32()
+        if version != FORMAT_VERSION:
+            reader.fail("unsupported postings format version %d" % version)
+        text_elements = reader.u64()
+        term_count = reader.u64()
+        directory = {}
+        for _ in range(term_count):
+            term = reader.text()
+            offset = reader.u64()
+            entries = reader.u64()
+            if offset > payload_end:
+                reader.fail("posting offset for %r out of bounds" % term)
+            directory[term] = (offset, entries)
+        return directory, text_elements
+    except CorruptStorageError:
+        raise
+    except Exception as error:
+        raise CorruptStorageError("corrupt %s: %s" % (name, error)) from None
+
+
+def open_postings(path):
+    """Map a postings segment and parse its directory in one step.
+
+    Returns ``(mm, directory, text_elements)``.  Cold start prefers the
+    split :func:`map_postings` / :func:`parse_postings_directory` pair.
+    """
+    mm = map_postings(path)
+    try:
+        directory, text_elements = parse_postings_directory(mm, str(path))
+    except CorruptStorageError:
+        mm.close()
+        raise
+    return mm, directory, text_elements
+
+
+def decode_posting(mm, offset, entries, name="postings segment"):
+    """Materialize one term's :class:`~repro.ir.index.Posting` from the map."""
+    reader = _Reader(mm, name, offset=offset)
+    posting = Posting()
+    for _ in range(entries):
+        node_id = reader.i32()
+        count = reader.u32()
+        posting.add(node_id, [reader.u32() for _ in range(count)])
+    return posting
+
+
+# -- statistics segment --------------------------------------------------------
+
+
+def _write_tag_ref(writer, tag):
+    if tag is None:
+        writer.u32(_NONE_TAG)
+    else:
+        writer.text(tag)
+
+
+def _read_tag_ref(reader):
+    length = reader.u32()
+    if length == _NONE_TAG:
+        return None
+    try:
+        return reader.raw(length).decode("utf-8")
+    except UnicodeDecodeError:
+        reader.fail("undecodable tag name")
+
+
+def write_stats(path, state):
+    """Seal a :meth:`DocumentStatistics.state` export into ``stats.bin``."""
+    writer = _Writer()
+    writer.raw(STATS_MAGIC)
+    writer.u32(FORMAT_VERSION)
+    writer.u64(state["counted_upto"])
+    writer.u32(len(state["tag_counts"]))
+    for tag in sorted(state["tag_counts"]):
+        writer.text(tag)
+        writer.u64(state["tag_counts"][tag])
+    for section in ("pc_pairs", "ad_pairs"):
+        pairs = state[section]
+        writer.u32(len(pairs))
+        for key in sorted(pairs, key=lambda k: (k[0] or "", k[1] or "")):
+            _write_tag_ref(writer, key[0])
+            _write_tag_ref(writer, key[1])
+            writer.u64(pairs[key])
+    for section in ("pc_parent_sets", "ad_ancestor_sets"):
+        sets = state[section]
+        writer.u32(len(sets))
+        for key in sorted(sets, key=lambda k: (k[0] or "", k[1] or "")):
+            _write_tag_ref(writer, key[0])
+            _write_tag_ref(writer, key[1])
+            ids = sorted(sets[key])
+            writer.u64(len(ids))
+            writer.int_array(ids)
+    writer.write_to(path)
+
+
+def load_stats(path):
+    """Read a statistics segment and verify its envelope (magic + CRC).
+
+    Returns the raw buffer; the per-entry decode is deferred to
+    :func:`parse_stats` so cold start pays only the C-speed CRC pass.
+    """
+    name = str(path)
+    try:
+        with open(path, "rb") as handle:
+            buffer = handle.read()
+    except OSError as error:
+        raise CorruptStorageError(
+            "corrupt %s: cannot read statistics (%s)" % (name, error)
+        ) from None
+    _check_magic_and_crc(buffer, STATS_MAGIC, name)
+    return buffer
+
+
+def parse_stats(buffer, name="statistics segment"):
+    """Decode a (CRC-checked) statistics buffer into a state export."""
+    try:
+        reader = _Reader(buffer, name, offset=len(STATS_MAGIC))
+        version = reader.u32()
+        if version != FORMAT_VERSION:
+            reader.fail("unsupported statistics format version %d" % version)
+        state = {"counted_upto": reader.u64()}
+        state["tag_counts"] = {
+            reader.text(): reader.u64() for _ in range(reader.u32())
+        }
+        for section in ("pc_pairs", "ad_pairs"):
+            pairs = {}
+            for _ in range(reader.u32()):
+                key = (_read_tag_ref(reader), _read_tag_ref(reader))
+                pairs[key] = reader.u64()
+            state[section] = pairs
+        for section in ("pc_parent_sets", "ad_ancestor_sets"):
+            sets = {}
+            for _ in range(reader.u32()):
+                key = (_read_tag_ref(reader), _read_tag_ref(reader))
+                sets[key] = set(reader.int_array(reader.u64()))
+            state[section] = sets
+        return state
+    except CorruptStorageError:
+        raise
+    except Exception as error:
+        raise CorruptStorageError("corrupt %s: %s" % (name, error)) from None
+
+
+def read_stats(path):
+    """Load a statistics segment back into a ``DocumentStatistics`` state."""
+    return parse_stats(load_stats(path), str(path))
+
+
+# -- manifest ------------------------------------------------------------------
+
+
+def write_manifest(directory, data):
+    """Atomically replace the corpus manifest (tmp + fsync + rename)."""
+    final = os.path.join(str(directory), MANIFEST_NAME)
+    tmp = final + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)
+    fsync_directory(directory)
+
+
+def read_manifest(directory):
+    path = os.path.join(str(directory), MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise CorruptStorageError(
+            "corrupt corpus at %s: cannot read manifest (%s)"
+            % (directory, error)
+        ) from None
+    except ValueError as error:
+        raise CorruptStorageError(
+            "corrupt %s: invalid manifest JSON (%s)" % (path, error)
+        ) from None
+    for field in ("format", "generation", "segment", "version"):
+        if field not in data:
+            raise CorruptStorageError(
+                "corrupt %s: manifest missing %r" % (path, field)
+            )
+    if data["format"] != FORMAT_VERSION:
+        raise CorruptStorageError(
+            "corrupt %s: unsupported corpus format %r" % (path, data["format"])
+        )
+    return data
+
+
+def fsync_directory(directory):
+    """Flush a directory entry (after create/rename of its children)."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# -- write-ahead log -----------------------------------------------------------
+
+
+class WriteAheadLog:
+    """Append log of document-fragment records with CRC'd framing.
+
+    Layout: ``FXWAL001 | u64 generation`` then zero or more records of
+    ``FXR1 | u32 length | u32 crc32(payload) | payload``.  ``append`` is
+    durable (flush + fsync) before it returns; :meth:`recover` scans the
+    longest valid record prefix, *truncates* any torn or corrupt tail in
+    place, and discards every record whose header generation disagrees
+    with the manifest (records that an interrupted compaction already
+    folded into a newer segment).
+    """
+
+    def __init__(self, path, generation):
+        self._path = str(path)
+        self._generation = generation
+        self._handle = None
+
+    @property
+    def path(self):
+        return self._path
+
+    @property
+    def generation(self):
+        return self._generation
+
+    def recover(self, expected_generation):
+        """Replay: return valid payloads, truncate the invalid tail.
+
+        A missing file, a bad header, or a generation mismatch yields no
+        records and rewrites a fresh header — the sealed segment is the
+        source of truth for everything before the log.
+        """
+        self._generation = expected_generation
+        try:
+            with open(self._path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            data = b""
+        payloads = []
+        valid_upto = 0
+        if (
+            len(data) >= WAL_HEADER_LEN
+            and data[:8] == WAL_MAGIC
+            and _U64.unpack_from(data, 8)[0] == expected_generation
+        ):
+            valid_upto = WAL_HEADER_LEN
+            offset = WAL_HEADER_LEN
+            while offset + _RECORD_HEADER.size <= len(data):
+                magic, length, crc = _RECORD_HEADER.unpack_from(data, offset)
+                if magic != RECORD_MAGIC:
+                    break
+                start = offset + _RECORD_HEADER.size
+                end = start + length
+                if end > len(data):
+                    break  # torn write: record body never made it to disk
+                payload = data[start:end]
+                if zlib.crc32(payload) != crc:
+                    break
+                payloads.append(payload)
+                offset = end
+                valid_upto = end
+        if valid_upto == 0:
+            self._rewrite_header()
+        elif valid_upto < len(data):
+            with open(self._path, "r+b") as handle:
+                handle.truncate(valid_upto)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return payloads
+
+    def _rewrite_header(self):
+        with open(self._path, "wb") as handle:
+            handle.write(WAL_MAGIC)
+            handle.write(_U64.pack(self._generation))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, payload):
+        """Durably append one record; returns its byte offset."""
+        handle = self._ensure_open()
+        offset = handle.tell()
+        handle.write(
+            _RECORD_HEADER.pack(RECORD_MAGIC, len(payload), zlib.crc32(payload))
+        )
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+        return offset
+
+    def reset(self, generation):
+        """Start a new empty log for ``generation`` (after compaction)."""
+        self.close()
+        self._generation = generation
+        self._rewrite_header()
+
+    def _ensure_open(self):
+        if self._handle is None:
+            self._handle = open(self._path, "ab")
+        return self._handle
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self):
+        return "WriteAheadLog(%r, generation=%d)" % (
+            self._path,
+            self._generation,
+        )

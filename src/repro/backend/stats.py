@@ -97,6 +97,45 @@ class DocumentStatistics:
         if end_id > self._counted_upto:
             self._counted_upto = end_id
 
+    def state(self):
+        """Export every count as plain dicts/sets for persistence.
+
+        The export is complete: :meth:`from_state` on the same document
+        yields statistics that answer identically *and* keep extending
+        incrementally from ``counted_upto``, so a reopened corpus never
+        rescans sealed nodes.
+        """
+        return {
+            "counted_upto": self._counted_upto,
+            "tag_counts": dict(self._tag_counts),
+            "pc_pairs": dict(self._pc_pairs),
+            "ad_pairs": dict(self._ad_pairs),
+            "pc_parent_sets": {
+                key: set(ids) for key, ids in self._pc_parent_sets.items()
+            },
+            "ad_ancestor_sets": {
+                key: set(ids) for key, ids in self._ad_ancestor_sets.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, document, state, virtual_root_id=None):
+        """Rebuild statistics from a :meth:`state` export without a scan."""
+        self = cls.__new__(cls)
+        self._document = document
+        self._virtual_root_id = virtual_root_id
+        self._tag_counts = dict(state["tag_counts"])
+        self._pc_pairs = dict(state["pc_pairs"])
+        self._ad_pairs = dict(state["ad_pairs"])
+        self._pc_parent_sets = {
+            key: set(ids) for key, ids in state["pc_parent_sets"].items()
+        }
+        self._ad_ancestor_sets = {
+            key: set(ids) for key, ids in state["ad_ancestor_sets"].items()
+        }
+        self._counted_upto = state["counted_upto"]
+        return self
+
     @property
     def document(self):
         return self._document

@@ -119,10 +119,15 @@ class ResultCache:
             }
 
     def __len__(self):
-        return len(self._entries)
+        # Same discipline as every other accessor: len() of an OrderedDict
+        # mid-mutation (put's insert + LRU pop) is not a consistent read.
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self):
+        with self._lock:
+            entries = len(self._entries)
         return "ResultCache(entries=%d, max_entries=%d)" % (
-            len(self._entries),
+            entries,
             self.max_entries,
         )

@@ -10,9 +10,14 @@ Commands:
 - ``stats FILE``          document and tag statistics
 - ``dump FILE OUT``       convert a document to the columnar dump format
 - ``metrics FILE``        run a workload and dump the metrics registry
+- ``ingest DIR FILE...``  append documents to an on-disk corpus (WAL-durable)
+- ``compact DIR``         fold an on-disk corpus' WAL into a sealed segment
+- ``open --path DIR``     open an on-disk corpus; show status or run a query
 
 ``FILE`` may be either an XML file or a ``flexpath-doc`` dump (sniffed
-from the first line) — dumps skip the XML parser entirely on load.
+from the first line) — dumps skip the XML parser entirely on load.  For
+the query-style commands it may also be an on-disk corpus *directory*
+(created with ``ingest``), which opens via mmap with no parsing at all.
 
 Examples::
 
@@ -184,6 +189,48 @@ def build_parser():
         help="disable the evaluation and result caches for the workload",
     )
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="append documents to an on-disk corpus (created if missing)",
+    )
+    ingest.add_argument("corpus", help="corpus directory")
+    ingest.add_argument(
+        "files", nargs="+", help="XML documents or dumps to append"
+    )
+    ingest.add_argument(
+        "--compact", action="store_true",
+        help="fold the WAL into a sealed segment after ingesting",
+    )
+
+    compact = commands.add_parser(
+        "compact",
+        help="fold an on-disk corpus' WAL tail into a sealed segment",
+    )
+    compact.add_argument("corpus", help="corpus directory")
+
+    opencmd = commands.add_parser(
+        "open",
+        help="open an on-disk corpus: show status, or run one query",
+    )
+    opencmd.add_argument(
+        "--path", required=True, metavar="DIR", help="corpus directory"
+    )
+    opencmd.add_argument(
+        "--query", default=None, metavar="Q",
+        help="XPath-fragment query to evaluate (default: just show status)",
+    )
+    opencmd.add_argument("-k", type=int, default=10, help="answers to return")
+    opencmd.add_argument(
+        "--algorithm",
+        choices=("dpo", "sso", "hybrid", "naive", "ir-first"),
+        default="hybrid",
+    )
+    opencmd.add_argument(
+        "--scheme",
+        choices=("structure-first", "keyword-first", "combined"),
+        default="structure-first",
+    )
+
     return parser
 
 
@@ -227,8 +274,23 @@ def _dispatch(args, out):
         return _cmd_generate(args, out)
     if args.command == "dump":
         return _cmd_dump(args, out)
+    if args.command == "ingest":
+        return _cmd_ingest(args, out)
+    if args.command == "compact":
+        return _cmd_compact(args, out)
+    if args.command == "open":
+        return _cmd_open(args, out)
+    import os
+
+    if os.path.isdir(args.file):
+        # A corpus directory: serve it straight off the mmap'd segments.
+        from repro.backend.disk import DiskBackend
+
+        source = DiskBackend.open(args.file)
+    else:
+        source = _load_document(args.file)
     engine = FleXPath(
-        _load_document(args.file),
+        source,
         cache=not getattr(args, "no_cache", False),
     )
     if args.command == "query":
@@ -481,6 +543,116 @@ def _cmd_metrics(engine, args, out):
             "# %d of %d workload quer(ies) failed" % (failures, len(queries)),
             file=sys.stderr,
         )
+    return 0
+
+
+def _open_disk_backend(path, create=False):
+    import os
+
+    from repro.backend.disk import DiskBackend
+
+    if os.path.exists(os.path.join(path, "MANIFEST.json")):
+        return DiskBackend.open(path)
+    if create:
+        return DiskBackend.create(path)
+    raise FleXPathError("no on-disk corpus at %s (run `ingest` first)" % path)
+
+
+def _cmd_ingest(args, out):
+    import os
+
+    backend = _open_disk_backend(args.corpus, create=True)
+    try:
+        for path in args.files:
+            document = _load_document(path)
+            backend.add_document(document, name=os.path.basename(path))
+            print(
+                "ingested %s (%d nodes)" % (path, len(document)), file=out
+            )
+        if args.compact:
+            generation = backend.compact()
+            print("compacted to generation %d" % generation, file=out)
+        info = backend.describe()
+        print(
+            "corpus %s: %d document(s), %d nodes, version %d,"
+            " generation %d, %d in WAL"
+            % (
+                info["path"],
+                info["documents"],
+                info["nodes"],
+                info["version"],
+                info["generation"],
+                info["wal_documents"],
+            ),
+            file=out,
+        )
+    finally:
+        backend.close()
+    return 0
+
+
+def _cmd_compact(args, out):
+    backend = _open_disk_backend(args.corpus)
+    try:
+        generation = backend.compact()
+        info = backend.describe()
+        print(
+            "compacted %s to generation %d (%d document(s), %d nodes)"
+            % (info["path"], generation, info["documents"], info["nodes"]),
+            file=out,
+        )
+    finally:
+        backend.close()
+    return 0
+
+
+def _cmd_open(args, out):
+    backend = _open_disk_backend(args.path)
+    try:
+        info = backend.describe()
+        print(
+            "corpus %s: %d document(s), %d nodes, version %d,"
+            " generation %d, %d in WAL"
+            % (
+                info["path"],
+                info["documents"],
+                info["nodes"],
+                info["version"],
+                info["generation"],
+                info["wal_documents"],
+            ),
+            file=out,
+        )
+        if args.query is None:
+            return 0
+        engine = FleXPath(backend)
+        result = engine.query(
+            args.query, k=args.k, scheme=args.scheme, algorithm=args.algorithm
+        )
+        print(
+            "# %s, %s, K=%d, relaxations used: %d"
+            % (
+                result.algorithm,
+                result.scheme.name,
+                args.k,
+                result.relaxations_used,
+            ),
+            file=out,
+        )
+        for rank, answer in enumerate(result.answers, start=1):
+            print(
+                "%3d. node %-6d <%s>  ss=%.3f ks=%.3f level=%d" % (
+                    rank,
+                    answer.node_id,
+                    answer.node.tag,
+                    answer.score.structural,
+                    answer.score.keyword,
+                    answer.relaxation_level,
+                ),
+                file=out,
+            )
+    finally:
+        backend.close()
     return 0
 
 

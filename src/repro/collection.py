@@ -53,6 +53,32 @@ class Corpus:
         #: caches) can never interleave with an in-flight evaluation.
         self.lock = RWLock()
 
+    @classmethod
+    def adopt(cls, document, fragments, version=0):
+        """Wrap an already-built collection document (disk hydration path).
+
+        ``document`` must be a region-encoded collection tree whose node 0
+        is the virtual root; ``fragments`` is the ``(start, end, name)``
+        fragment table persisted alongside it.  ``version`` restores the
+        mutation counter so result/plan cache fencing survives a reopen —
+        a corpus reopened at version ``v`` and then grown is
+        indistinguishable from one that was never closed.
+        """
+        self = cls.__new__(cls)
+        self._document = document
+        self._starts = [start for start, _, _ in fragments]
+        self._ends = [end for _, end, _ in fragments]
+        self._names = [name for _, _, name in fragments]
+        self._listeners = []
+        self._tracer = NULL_TRACER
+        self._version = version
+        self.lock = RWLock()
+        return self
+
+    def fragments(self):
+        """The ``(start, end, name)`` fragment table, ascending by start."""
+        return list(zip(self._starts, self._ends, self._names))
+
     def set_tracer(self, tracer):
         """Attach a :class:`~repro.obs.Tracer` to ingest (None detaches).
 

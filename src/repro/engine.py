@@ -134,6 +134,24 @@ class Engine:
         """Build an engine over a live corpus (stays subscribed)."""
         return cls(corpus, **kwargs)
 
+    @classmethod
+    def open(cls, path, **kwargs):
+        """Open (or initialize) a persistent on-disk corpus directory.
+
+        Cold start costs mmap + WAL replay — no XML parse, no index
+        rebuild.  The returned engine serves a
+        :class:`~repro.backend.disk.DiskBackend`; ingest through it is
+        write-ahead durable, and ``engine.backend.compact()`` seals the
+        WAL tail into the next segment generation.
+        """
+        import os
+
+        from repro.backend.disk import DiskBackend
+
+        if os.path.exists(os.path.join(path, "MANIFEST.json")):
+            return cls(DiskBackend.open(path), **kwargs)
+        return cls(DiskBackend.create(path), **kwargs)
+
     # -- shared state ------------------------------------------------------------
 
     @property

@@ -52,6 +52,18 @@ class EvaluationError(FleXPathError):
     """Raised when query evaluation fails for reasons other than bad input."""
 
 
+class CorruptStorageError(FleXPathError):
+    """Raised when an on-disk artifact fails validation on load.
+
+    Covers every persistent surface — ``flexpath-doc`` dumps, DiskBackend
+    segment files, and write-ahead-log headers — with one contract: the
+    message starts with ``corrupt`` and names the offending file plus the
+    line, node, or byte offset where validation failed.  Raw
+    ``ValueError`` / ``IndexError`` / ``struct.error`` from a truncated or
+    bit-flipped file never escape to callers.
+    """
+
+
 class QueryTimeoutError(FleXPathError):
     """Raised when a query runs past its session deadline.
 

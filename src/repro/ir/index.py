@@ -103,11 +103,18 @@ class InvertedIndex:
             for position, token in enumerate(tokens):
                 per_term.setdefault(token, []).append(position)
             for term, positions in per_term.items():
-                self._postings.setdefault(term, Posting()).add(
-                    node_id, positions
-                )
+                self._posting_for_append(term).add(node_id, positions)
         if end_id > self._indexed_upto:
             self._indexed_upto = end_id
+
+    def _posting_for_append(self, term):
+        """The mutable posting new occurrences of ``term`` append to.
+
+        Subclasses with sealed base postings (``DiskInvertedIndex``)
+        override this so appends land on a hydrated copy of the sealed
+        posting rather than silently forking a second one.
+        """
+        return self._postings.setdefault(term, Posting())
 
     @property
     def document(self):
@@ -123,25 +130,29 @@ class InvertedIndex:
         return len(self._postings)
 
     def posting(self, term):
-        """Return the posting for a (stemmed) term, or None."""
+        """Return the posting for a (stemmed) term, or None.
+
+        The single lookup seam: every accessor below routes through here,
+        so lazy subclasses only override this one method.
+        """
         return self._postings.get(term)
 
     def document_frequency(self, term):
-        posting = self._postings.get(term)
+        posting = self.posting(term)
         return posting.document_frequency if posting else 0
 
     def subtree_term_frequency(self, term, node):
         """Occurrences of ``term`` anywhere inside ``node``'s subtree."""
-        posting = self._postings.get(term)
+        posting = self.posting(term)
         if posting is None:
             return 0
         return posting.subtree_occurrences(node.start, node.end)
 
     def subtree_has_term(self, term, node):
-        posting = self._postings.get(term)
+        posting = self.posting(term)
         return posting is not None and posting.subtree_has(node.start, node.end)
 
     def direct_nodes_with_term(self, term):
         """Node ids directly containing ``term`` (pre-order sorted)."""
-        posting = self._postings.get(term)
+        posting = self.posting(term)
         return list(posting.node_ids) if posting else []

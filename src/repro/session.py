@@ -361,8 +361,16 @@ class SessionPool:
         return session
 
     def checkin(self, session):
-        """Return a session; beyond the idle bound it is discarded."""
+        """Return a session; beyond the idle bound it is discarded.
+
+        Exactly-once per checkout: a session already on the idle list is
+        ignored, so a stale ``close()`` racing a re-issue can neither
+        double-decrement the ``in_use`` gauge nor list the same session
+        twice (which would hand one session to two threads at once).
+        """
         with self._lock:
+            if any(idle_session is session for idle_session in self._idle):
+                return
             self._in_use = max(0, self._in_use - 1)
             if len(self._idle) < self._size:
                 self._idle.append(session)
@@ -387,8 +395,10 @@ class SessionPool:
             }
 
     def __repr__(self):
+        with self._lock:
+            idle, in_use = len(self._idle), self._in_use
         return "SessionPool(size=%d, idle=%d, in_use=%d)" % (
             self._size,
-            len(self._idle),
-            self._in_use,
+            idle,
+            in_use,
         )

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from array import array
 
-from repro.errors import FleXPathError
+from repro.errors import CorruptStorageError, FleXPathError
 from repro.xmltree.document import ColumnarStore, Document
 
 _MAGIC_V1 = "flexpath-doc 1"
@@ -158,19 +158,29 @@ def load_document(path):
     """
     with open(path, "r", encoding="utf-8") as handle:
         header = handle.readline().rstrip("\n")
-        if header == _MAGIC_V2:
-            return _load_v2(handle)
-        if header == _MAGIC_V1:
-            return _load_v1(handle)
-        raise FleXPathError(
-            "not a flexpath document dump (bad header %r)" % header
+        try:
+            if header == _MAGIC_V2:
+                return _load_v2(handle)
+            if header == _MAGIC_V1:
+                return _load_v1(handle)
+        except FleXPathError:
+            raise
+        except (ValueError, IndexError, OverflowError) as error:
+            # Backstop: no raw parse error from a truncated or bit-flipped
+            # dump may escape — same contract as DiskBackend segment opens.
+            raise CorruptStorageError(
+                "corrupt dump %s: %s" % (path, error)
+            ) from None
+        raise CorruptStorageError(
+            "corrupt dump %s: not a flexpath document dump (bad header %r)"
+            % (path, header)
         )
 
 
 def _finish_store(store, count):
     """Compute region ends from the pre-order parent layout and wrap up."""
     if not count:
-        raise FleXPathError("corrupt dump: empty document")
+        raise CorruptStorageError("corrupt dump: empty document")
     ends = store.ends
     parent_ids = store.parent_ids
     for node_id in range(count - 1, -1, -1):
@@ -186,7 +196,7 @@ def _append_row(store, node_id, parent_id, tag_id, attributes, text):
         level = 0
     else:
         if parent_id >= node_id:
-            raise FleXPathError(
+            raise CorruptStorageError(
                 "corrupt dump: node %d precedes its parent" % node_id
             )
         level = store.levels[parent_id] + 1
@@ -208,13 +218,13 @@ def _load_v2(handle):
     try:
         count, tag_count = int(counts[0]), int(counts[1])
     except (ValueError, IndexError):
-        raise FleXPathError("corrupt dump: missing node count") from None
+        raise CorruptStorageError("corrupt dump: missing node count") from None
 
     store = ColumnarStore()
     for index in range(tag_count):
         line = handle.readline()
         if not line:
-            raise FleXPathError(
+            raise CorruptStorageError(
                 "corrupt dump: expected %d tags, found %d" % (tag_count, index)
             )
         store.tags.intern(_unescape(line.rstrip("\n")))
@@ -233,25 +243,27 @@ def _load_v2(handle):
     for node_id in range(count):
         line = handle.readline()
         if not line:
-            raise FleXPathError(
+            raise CorruptStorageError(
                 "corrupt dump: expected %d nodes, found %d" % (count, node_id)
             )
         fields = line.rstrip("\n").split("\t")
         if len(fields) != 4:
-            raise FleXPathError("corrupt dump at node %d" % node_id)
+            raise CorruptStorageError("corrupt dump at node %d" % node_id)
         try:
             parent_id = int(fields[0])
             tag_id = int(fields[1])
         except ValueError:
-            raise FleXPathError("corrupt dump at node %d" % node_id) from None
+            raise CorruptStorageError(
+                "corrupt dump at node %d (bad id field)" % node_id
+            ) from None
         if not 0 <= tag_id < tag_count:
-            raise FleXPathError(
+            raise CorruptStorageError(
                 "corrupt dump: node %d has unknown tag id %d" % (node_id, tag_id)
             )
         if parent_id < 0:
             level = 0
         elif parent_id >= node_id:
-            raise FleXPathError(
+            raise CorruptStorageError(
                 "corrupt dump: node %d precedes its parent" % node_id
             )
         else:
@@ -275,19 +287,27 @@ def _load_v1(handle):
     try:
         count = int(handle.readline())
     except ValueError:
-        raise FleXPathError("corrupt dump: missing node count") from None
+        raise CorruptStorageError("corrupt dump: missing node count") from None
 
     store = ColumnarStore()
     for node_id in range(count):
         line = handle.readline()
         if not line:
-            raise FleXPathError(
+            raise CorruptStorageError(
                 "corrupt dump: expected %d nodes, found %d" % (count, node_id)
             )
         fields = line.rstrip("\n").split("\t")
         if len(fields) != 4:
-            raise FleXPathError("corrupt dump at node %d" % node_id)
-        parent_id = int(fields[0])
+            raise CorruptStorageError(
+                "corrupt dump at node %d (line %d)" % (node_id, node_id + 3)
+            )
+        try:
+            parent_id = int(fields[0])
+        except ValueError:
+            raise CorruptStorageError(
+                "corrupt dump: bad parent id %r at node %d (line %d)"
+                % (fields[0], node_id, node_id + 3)
+            ) from None
         tag_id = store.tags.intern(_unescape(fields[1]))
         _append_row(
             store,

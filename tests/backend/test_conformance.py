@@ -9,14 +9,17 @@ postings and statistics identical to freshly built index/collector
 instances, and engine-level query results identical across backends.
 
 To register a new implementation, add a ``(name, factory)`` pair to
-``BACKEND_FACTORIES`` — the factory takes the library XML text and returns
-a backend; everything below runs against it unchanged (see
-docs/EXTENDING.md).
+``BACKEND_FACTORIES`` — the factory takes the library XML text and a
+scratch directory and returns a backend; everything below runs against it
+unchanged (see docs/EXTENDING.md).
 """
+
+import tempfile
 
 import pytest
 
 from repro.backend import InMemoryBackend, StorageBackend, as_backend
+from repro.backend.disk import DiskBackend
 from repro.backend.kernels import (
     semi_join_ancestor_ids,
     semi_join_descendant_ids,
@@ -35,19 +38,38 @@ EXTRA_XML = (
 )
 
 
-def _memory_document(xml_text):
+def _memory_document(xml_text, tmp_path):
     return InMemoryBackend(parse(xml_text))
 
 
-def _memory_corpus(xml_text):
+def _memory_corpus(xml_text, tmp_path):
     corpus = Corpus()
     corpus.add_text(xml_text)
     return InMemoryBackend(corpus)
 
 
+def _disk_wal(xml_text, tmp_path):
+    """Disk corpus whose whole content still lives in the WAL tail."""
+    backend = DiskBackend.create(tempfile.mkdtemp(dir=tmp_path))
+    backend.add_document(parse(xml_text))
+    return backend
+
+
+def _disk_sealed(xml_text, tmp_path):
+    """Disk corpus reopened cold from a compacted (sealed) segment."""
+    path = tempfile.mkdtemp(dir=tmp_path)
+    backend = DiskBackend.create(path)
+    backend.add_document(parse(xml_text))
+    backend.compact()
+    backend.close()
+    return DiskBackend.open(path)
+
+
 BACKEND_FACTORIES = [
     ("memory-document", _memory_document),
     ("memory-corpus", _memory_corpus),
+    ("disk-wal", _disk_wal),
+    ("disk-sealed", _disk_sealed),
 ]
 
 
@@ -55,8 +77,8 @@ BACKEND_FACTORIES = [
     params=[factory for _name, factory in BACKEND_FACTORIES],
     ids=[name for name, _factory in BACKEND_FACTORIES],
 )
-def backend(request):
-    return request.param(LIBRARY_XML)
+def backend(request, tmp_path):
+    return request.param(LIBRARY_XML, tmp_path)
 
 
 class TestProtocol:
@@ -265,10 +287,10 @@ class TestEngineParity:
         ]
 
     @pytest.mark.parametrize("query", QUERIES)
-    def test_results_identical_across_backends(self, query):
+    def test_results_identical_across_backends(self, query, tmp_path):
         reference = None
         for name, factory in BACKEND_FACTORIES:
-            answers = self._answers(factory(LIBRARY_XML), query)
+            answers = self._answers(factory(LIBRARY_XML, tmp_path), query)
             if reference is None:
                 reference = answers
             else:

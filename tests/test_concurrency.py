@@ -135,6 +135,11 @@ class TestThreadHammer:
                     algorithm = ALGORITHMS[(slot + round_index) % len(ALGORITHMS)]
                     result = engine.query(text, k=5, algorithm=algorithm)
                     assert result.answers is not None
+                    # Regression: len/repr take the cache lock, so probing
+                    # them mid-put/mid-invalidate reads a consistent size.
+                    size = len(engine.result_cache)
+                    assert 0 <= size <= engine.result_cache.max_entries
+                    assert "ResultCache(" in repr(engine.result_cache)
                     issued[slot] += 1
             except Exception as error:  # pragma: no cover - failure path
                 errors.append(error)

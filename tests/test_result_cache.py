@@ -53,6 +53,31 @@ class TestUnit:
         assert _counter("result_cache.invalidations") == 1
         assert len(cache) == 0
 
+    def test_len_and_repr_hold_the_lock(self):
+        # Regression: __len__/__repr__ used to read _entries without the
+        # mutex; observe the lock directly to pin the discipline down.
+        cache = ResultCache(max_entries=3)
+        cache.put("a", 1)
+
+        class SpyLock:
+            def __init__(self, inner):
+                self.inner = inner
+                self.entered = 0
+
+            def __enter__(self):
+                self.entered += 1
+                return self.inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self.inner.__exit__(*exc)
+
+        spy = SpyLock(cache._lock)
+        cache._lock = spy
+        assert len(cache) == 1
+        assert spy.entered == 1
+        assert repr(cache) == "ResultCache(entries=1, max_entries=3)"
+        assert spy.entered == 2
+
 
 class TestFacade:
     def test_repeat_query_hits(self):

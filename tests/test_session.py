@@ -278,3 +278,86 @@ class TestEngineSurface:
             trace = session.query(QUERY, k=3, trace=True)
         assert trace.result.answers
         assert trace.spans
+
+
+class TestExceptionPathCheckin:
+    """A raising query must return its session exactly once; gauges never
+    drift (the satellite bugfix audit for Session/SessionPool)."""
+
+    def _raising_engine(self):
+        engine = Engine.from_xml(LIBRARY_XML)
+
+        class ExplodingStrategy:
+            name = "exploding"
+
+            def top_k(self, *args, **kwargs):
+                raise RuntimeError("executor blew up")
+
+        engine._algorithms["exploding"] = ExplodingStrategy()
+        return engine
+
+    def test_raising_queries_never_drift_in_use(self):
+        engine = self._raising_engine()
+        for _ in range(5):
+            with pytest.raises(RuntimeError):
+                engine.query(QUERY, algorithm="exploding")
+        info = engine.pool.info()
+        assert info["in_use"] == 0
+        assert info["idle"] == 1  # one session, reused every round
+        assert info["checkouts"] == 5
+        assert _gauge("session_pool.in_use") == 0
+
+    def test_timeout_path_checks_in(self, engine):
+        for _ in range(3):
+            with pytest.raises(QueryTimeoutError):
+                engine.query(QUERY, deadline_ms=0.0001)
+        info = engine.pool.info()
+        assert info["in_use"] == 0
+        assert info["idle"] == 1
+        assert _counter("query.timeouts") == 3
+
+    def test_double_checkin_is_ignored(self, engine):
+        pool = engine.pool
+        session = pool.checkout()
+        assert pool.info()["in_use"] == 1
+        session.close()
+        assert pool.info() == {**pool.info(), "in_use": 0}
+        # A stale close after the pool re-issued the session must not
+        # double-list it or drive in_use negative.
+        pool.checkin(session)
+        info = pool.info()
+        assert info["in_use"] == 0
+        assert info["idle"] == 1
+        reissued = pool.checkout()
+        assert reissued is session
+        assert pool.info()["in_use"] == 1
+        # the stale checkin again, while the session is legitimately out
+        pool.checkin(session)
+        reissued.close()
+        final = pool.info()
+        assert final["in_use"] == 0
+        assert final["idle"] == 1
+
+    def test_raising_strategy_under_concurrency(self):
+        engine = self._raising_engine()
+        errors = []
+
+        def run(slot):
+            try:
+                with pytest.raises(RuntimeError):
+                    engine.query(QUERY, algorithm="exploding")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        info = engine.pool.info()
+        assert info["in_use"] == 0
+        assert info["idle"] <= DEFAULT_POOL_SIZE
+        assert _counter("query.errors") == 8

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import FleXPathError
+from repro.errors import CorruptStorageError, FleXPathError
 from repro.xmltree import dump_document, load_document, parse
 from repro.xmark import generate_document
 
@@ -240,3 +240,37 @@ class TestCorruptInputs:
         path.write_text("flexpath-doc 2\n1\t1\na\n-1\t0\t\tbad\\q\n")
         with pytest.raises(FleXPathError, match="escape"):
             load_document(str(path))
+
+    def test_non_integer_parent_id_is_wrapped(self, tmp_path):
+        # Regression: a non-numeric parent field used to escape as a raw
+        # ValueError from int(); now it is a CorruptStorageError naming
+        # the offending node and line.
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 1\n1\nxyz\ta\t\t\n")
+        with pytest.raises(CorruptStorageError, match="bad parent id 'xyz'"):
+            load_document(str(path))
+        with pytest.raises(FleXPathError, match="line 3"):
+            load_document(str(path))
+
+    def test_non_integer_counts_are_wrapped(self, tmp_path):
+        path = tmp_path / "bad.fxd"
+        path.write_text("flexpath-doc 2\nnot\tcounts\n")
+        with pytest.raises(CorruptStorageError, match="corrupt dump"):
+            load_document(str(path))
+
+    def test_corrupt_dumps_raise_the_storage_subclass(self, tmp_path):
+        # Every corruption shape funnels into CorruptStorageError, which
+        # is a FleXPathError, so both old and new handlers keep working.
+        assert issubclass(CorruptStorageError, FleXPathError)
+        shapes = [
+            "not a dump at all\n",
+            "flexpath-doc 9\n1\n",
+            "flexpath-doc 1\n\n",
+            "flexpath-doc 1\n2\n-1\ta\t\t\n",
+            "flexpath-doc 2\n1\t1\na\n-1\t7\t\t\n",
+        ]
+        for index, body in enumerate(shapes):
+            path = tmp_path / ("bad%d.fxd" % index)
+            path.write_text(body)
+            with pytest.raises(CorruptStorageError):
+                load_document(str(path))
