@@ -38,8 +38,11 @@ from __future__ import annotations
 import os
 import shutil
 import threading
+from time import perf_counter
 
 from repro.backend import diskfmt
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
 from repro.backend.memory import InMemoryBackend
 from repro.backend.stats import DocumentStatistics
 from repro.collection import Corpus
@@ -84,6 +87,8 @@ class DiskInvertedIndex(InvertedIndex):
                 self._mm, location[0], location[1], self._name
             )
             self._postings[term] = posting
+            if REGISTRY.enabled:
+                REGISTRY.inc("disk.posting_hydrations")
         return posting
 
     def _posting_for_append(self, term):
@@ -249,6 +254,9 @@ class DiskBackend(InMemoryBackend):
                 ) from None
             self.corpus.add_document(document, name=name)
             self._wal_documents += 1
+        if REGISTRY.enabled:
+            REGISTRY.set_gauge("disk.generation", self._generation)
+            REGISTRY.set_gauge("disk.wal_documents", self._wal_documents)
 
     def close(self):
         """Release the WAL handle and segment mappings.
@@ -282,6 +290,7 @@ class DiskBackend(InMemoryBackend):
         if self._ir is None:
             with self._materialize_mutex:
                 if self._ir is None:
+                    started = perf_counter()
                     directory, text_elements = (
                         diskfmt.parse_postings_directory(
                             self._postings_mm, self._postings_name
@@ -300,6 +309,9 @@ class DiskBackend(InMemoryBackend):
                     self._ir = IREngine(
                         self._document, index=index, virtual_root_id=0
                     )
+                    self._observe_hydration(
+                        "postings_directory", started, terms=len(directory)
+                    )
         return self._ir
 
     @property
@@ -313,6 +325,7 @@ class DiskBackend(InMemoryBackend):
         if self._statistics is None:
             with self._materialize_mutex:
                 if self._statistics is None:
+                    started = perf_counter()
                     state = diskfmt.parse_stats(
                         self._stats_buffer, self._stats_name
                     )
@@ -324,7 +337,21 @@ class DiskBackend(InMemoryBackend):
                             state["counted_upto"], len(self._document)
                         )
                     self._statistics = statistics
+                    self._observe_hydration("statistics", started)
         return self._statistics
+
+    def _observe_hydration(self, kind, started, **extra):
+        """Record one lazy sealed-payload materialization (counter + event)."""
+        if not (REGISTRY.enabled or HUB.active):
+            return
+        seconds = perf_counter() - started
+        if REGISTRY.enabled:
+            REGISTRY.inc("disk.%s_hydrations" % kind)
+            REGISTRY.observe("disk.%s_hydration_seconds" % kind, seconds)
+        if HUB.active:
+            payload = {"path": self._path, "kind": kind, "seconds": seconds}
+            payload.update(extra)
+            HUB.emit("hydration", payload)
 
     # -- ingest ----------------------------------------------------------------
 
@@ -357,6 +384,8 @@ class DiskBackend(InMemoryBackend):
             self._wal.append(diskfmt.encode_fragment(document, name))
             root = self.corpus.add_document(document, name=name)
             self._wal_documents += 1
+            if REGISTRY.enabled:
+                REGISTRY.set_gauge("disk.wal_documents", self._wal_documents)
             return root
 
     def compact(self):
@@ -377,6 +406,8 @@ class DiskBackend(InMemoryBackend):
         if self._closed:
             raise FleXPathError("backend is closed")
         with self._ingest_mutex:
+            started = perf_counter()
+            folded = self._wal_documents
             with self.lock.read_locked():
                 new_generation = self._generation + 1
                 _write_segment(
@@ -406,6 +437,25 @@ class DiskBackend(InMemoryBackend):
             for generation in range(1, old_generation + 1):
                 stale = os.path.join(self._path, _segment_name(generation))
                 shutil.rmtree(stale, ignore_errors=True)
+            if REGISTRY.enabled or HUB.active:
+                seconds = perf_counter() - started
+                if REGISTRY.enabled:
+                    REGISTRY.inc_many(
+                        {"compaction.count": 1, "compaction.documents_folded": folded}
+                    )
+                    REGISTRY.observe("compaction.seconds", seconds)
+                    REGISTRY.set_gauge("disk.generation", new_generation)
+                    REGISTRY.set_gauge("disk.wal_documents", 0)
+                if HUB.active:
+                    HUB.emit(
+                        "compaction",
+                        {
+                            "path": self._path,
+                            "generation": new_generation,
+                            "documents_folded": folded,
+                            "seconds": seconds,
+                        },
+                    )
             return new_generation
 
     def describe(self):

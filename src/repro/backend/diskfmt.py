@@ -31,6 +31,16 @@ longest valid record prefix, truncating any torn tail in place.
 Every reader raises :class:`~repro.errors.CorruptStorageError` — never a
 raw ``struct.error``/``ValueError``/``IndexError`` — naming the file and
 the byte offset where validation failed.
+
+Every I/O seam here reports into the process observability plane (DESIGN
+§13) with the PR 2–3 zero-overhead-when-off contract: each seam pays one
+``REGISTRY.enabled`` / ``HUB.active`` attribute check when the registry is
+killed and nothing is subscribed.  WAL appends time the write and the
+fsync separately (``wal.append_seconds`` / ``wal.fsync_seconds``),
+recovery counts replayed records and torn-tail truncations, segment
+reads/writes observe per-artifact decode/seal latency and bytes
+(``segment.*``), and every failed envelope or record check increments a
+CRC-failure counter and emits a ``storage_corruption`` event.
 """
 
 from __future__ import annotations
@@ -41,9 +51,12 @@ import struct
 import sys
 import zlib
 from array import array
+from time import perf_counter
 
 from repro.errors import CorruptStorageError
 from repro.ir.index import Posting
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
 from repro.xmltree.document import ColumnarStore, Document, TagDictionary
 
 SEGMENT_MAGIC = b"FXSEG001"
@@ -67,6 +80,25 @@ _I32 = struct.Struct("<i")
 _NONE_TAG = 0xFFFFFFFF
 
 _BIG_ENDIAN = sys.byteorder == "big"
+
+
+def _artifact_kind(path):
+    """``columns``/``postings``/``stats``/``wal`` from an artifact path."""
+    base = os.path.basename(str(path))
+    return base[:-4] if base.endswith(".bin") else base
+
+
+def _observe_segment_load(path, kind, size, seconds):
+    """Fold one sealed-artifact read into the registry and event hub."""
+    if REGISTRY.enabled:
+        REGISTRY.inc_many({"segment.loads": 1, "segment.load_bytes": size})
+        REGISTRY.observe("segment.%s_decode_seconds" % kind, seconds)
+    if HUB.active:
+        HUB.emit(
+            "segment_loaded",
+            {"path": str(path), "kind": kind, "bytes": size,
+             "seconds": seconds},
+        )
 
 
 def _int_array_bytes(values):
@@ -118,11 +150,31 @@ class _Writer:
 
     def write_to(self, path):
         """Write payload + trailing CRC32, fsync'd."""
+        observing = REGISTRY.enabled or HUB.active
+        started = perf_counter() if observing else 0.0
         self._parts += _U32.pack(zlib.crc32(self._parts))
         with open(path, "wb") as handle:
             handle.write(self._parts)
             handle.flush()
             os.fsync(handle.fileno())
+        if observing:
+            seconds = perf_counter() - started
+            size = len(self._parts)
+            if REGISTRY.enabled:
+                REGISTRY.inc_many(
+                    {"segment.seals": 1, "segment.seal_bytes": size}
+                )
+                REGISTRY.observe("segment.seal_seconds", seconds)
+            if HUB.active:
+                HUB.emit(
+                    "segment_sealed",
+                    {
+                        "path": str(path),
+                        "kind": _artifact_kind(path),
+                        "bytes": size,
+                        "seconds": seconds,
+                    },
+                )
 
 
 class _Reader:
@@ -172,26 +224,35 @@ class _Reader:
         return _int_array_from(self.buffer[start : self.offset])
 
 
+def _report_corruption(name, counter, message):
+    """Count a failed storage-integrity check and notify listeners."""
+    REGISTRY.inc(counter)
+    if HUB.active:
+        HUB.emit("storage_corruption", {"path": name, "error": message})
+
+
 def _check_magic_and_crc(buffer, magic, name):
     """Validate the artifact envelope; returns the payload end offset."""
     if len(buffer) < len(magic) + 4:
-        raise CorruptStorageError(
-            "corrupt %s: file too short (%d bytes)" % (name, len(buffer))
-        )
+        message = "corrupt %s: file too short (%d bytes)" % (name, len(buffer))
+        _report_corruption(name, "segment.crc_failures", message)
+        raise CorruptStorageError(message)
     if bytes(buffer[: len(magic)]) != magic:
-        raise CorruptStorageError(
-            "corrupt %s: bad magic %r" % (name, bytes(buffer[:8]))
-        )
+        message = "corrupt %s: bad magic %r" % (name, bytes(buffer[:8]))
+        _report_corruption(name, "segment.crc_failures", message)
+        raise CorruptStorageError(message)
     payload_end = len(buffer) - 4
     view = memoryview(buffer)[:payload_end]
     crc = zlib.crc32(view)
     view.release()
     (stored,) = _U32.unpack_from(buffer, payload_end)
     if crc != stored:
-        raise CorruptStorageError(
+        message = (
             "corrupt %s: CRC mismatch (stored %08x, computed %08x)"
             % (name, stored, crc)
         )
+        _report_corruption(name, "segment.crc_failures", message)
+        raise CorruptStorageError(message)
     return payload_end
 
 
@@ -357,6 +418,7 @@ def read_columns(path):
     import mmap as mmap_module
 
     name = str(path)
+    started = perf_counter()
     try:
         with open(path, "rb") as handle:
             mm = mmap_module.mmap(
@@ -402,6 +464,10 @@ def read_columns(path):
             end = reader.i32()
             fragments.append((start, end, reader.text()))
         _validate_structure(store, reader)
+        if REGISTRY.enabled or HUB.active:
+            _observe_segment_load(
+                name, "columns", len(mm), perf_counter() - started
+            )
         return store, fragments, mm
     except CorruptStorageError:
         mm.close()
@@ -528,6 +594,7 @@ def map_postings(path):
     import mmap as mmap_module
 
     name = str(path)
+    started = perf_counter()
     try:
         with open(path, "rb") as handle:
             mm = mmap_module.mmap(
@@ -542,6 +609,10 @@ def map_postings(path):
     except CorruptStorageError:
         mm.close()
         raise
+    if REGISTRY.enabled or HUB.active:
+        _observe_segment_load(
+            name, "postings", len(mm), perf_counter() - started
+        )
     return mm
 
 
@@ -657,6 +728,7 @@ def load_stats(path):
     :func:`parse_stats` so cold start pays only the C-speed CRC pass.
     """
     name = str(path)
+    started = perf_counter()
     try:
         with open(path, "rb") as handle:
             buffer = handle.read()
@@ -665,6 +737,10 @@ def load_stats(path):
             "corrupt %s: cannot read statistics (%s)" % (name, error)
         ) from None
     _check_magic_and_crc(buffer, STATS_MAGIC, name)
+    if REGISTRY.enabled or HUB.active:
+        _observe_segment_load(
+            name, "stats", len(buffer), perf_counter() - started
+        )
     return buffer
 
 
@@ -790,6 +866,7 @@ class WriteAheadLog:
         source of truth for everything before the log.
         """
         self._generation = expected_generation
+        started = perf_counter()
         try:
             with open(self._path, "rb") as handle:
                 data = handle.read()
@@ -814,17 +891,42 @@ class WriteAheadLog:
                     break  # torn write: record body never made it to disk
                 payload = data[start:end]
                 if zlib.crc32(payload) != crc:
+                    _report_corruption(
+                        self._path,
+                        "wal.crc_failures",
+                        "corrupt %s: record CRC mismatch (at byte %d)"
+                        % (self._path, offset),
+                    )
                     break
                 payloads.append(payload)
                 offset = end
                 valid_upto = end
+        truncated = len(data) - valid_upto if valid_upto < len(data) else 0
         if valid_upto == 0:
             self._rewrite_header()
-        elif valid_upto < len(data):
+        elif truncated:
             with open(self._path, "r+b") as handle:
                 handle.truncate(valid_upto)
                 handle.flush()
                 os.fsync(handle.fileno())
+        if REGISTRY.enabled:
+            deltas = {"wal.replays": 1, "wal.replay_records": len(payloads)}
+            if truncated:
+                deltas["wal.torn_tail_truncations"] = 1
+                deltas["wal.truncated_bytes"] = truncated
+            REGISTRY.inc_many(deltas)
+            REGISTRY.observe("wal.replay_seconds", perf_counter() - started)
+        if HUB.active:
+            HUB.emit(
+                "wal_replay",
+                {
+                    "path": self._path,
+                    "generation": expected_generation,
+                    "records": len(payloads),
+                    "truncated_bytes": truncated,
+                    "seconds": perf_counter() - started,
+                },
+            )
         return payloads
 
     def _rewrite_header(self):
@@ -836,6 +938,8 @@ class WriteAheadLog:
 
     def append(self, payload):
         """Durably append one record; returns its byte offset."""
+        observing = REGISTRY.enabled or HUB.active
+        started = perf_counter() if observing else 0.0
         handle = self._ensure_open()
         offset = handle.tell()
         handle.write(
@@ -843,7 +947,25 @@ class WriteAheadLog:
         )
         handle.write(payload)
         handle.flush()
+        fsync_started = perf_counter() if observing else 0.0
         os.fsync(handle.fileno())
+        if observing:
+            done = perf_counter()
+            size = _RECORD_HEADER.size + len(payload)
+            if REGISTRY.enabled:
+                REGISTRY.inc_many({"wal.appends": 1, "wal.append_bytes": size})
+                REGISTRY.observe("wal.append_seconds", done - started)
+                REGISTRY.observe("wal.fsync_seconds", done - fsync_started)
+            if HUB.active:
+                HUB.emit(
+                    "wal_append",
+                    {
+                        "path": self._path,
+                        "bytes": size,
+                        "seconds": done - started,
+                        "fsync_seconds": done - fsync_started,
+                    },
+                )
         return offset
 
     def reset(self, generation):

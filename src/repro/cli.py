@@ -10,6 +10,7 @@ Commands:
 - ``stats FILE``          document and tag statistics
 - ``dump FILE OUT``       convert a document to the columnar dump format
 - ``metrics FILE``        run a workload and dump the metrics registry
+- ``serve-metrics FILE``  serve /metrics, /healthz, /statusz over HTTP
 - ``ingest DIR FILE...``  append documents to an on-disk corpus (WAL-durable)
 - ``compact DIR``         fold an on-disk corpus' WAL into a sealed segment
 - ``open --path DIR``     open an on-disk corpus; show status or run a query
@@ -189,6 +190,37 @@ def build_parser():
         help="disable the evaluation and result caches for the workload",
     )
 
+    serve = commands.add_parser(
+        "serve-metrics",
+        help="serve the observability HTTP endpoint for a corpus or document",
+    )
+    serve.add_argument(
+        "file", help="XML document, dump, or on-disk corpus directory"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default 0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default loopback)",
+    )
+    serve.add_argument(
+        "--query", default=None, metavar="Q",
+        help="evaluate one query on startup, so hydration and query metrics"
+        " are warm before the first scrape",
+    )
+    serve.add_argument("-k", type=int, default=10, help="answers for --query")
+    serve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="also enable the slow-query log at this threshold (rendered"
+        " on /statusz)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit (default: until interrupted)",
+    )
+
     ingest = commands.add_parser(
         "ingest",
         help="append documents to an on-disk corpus (created if missing)",
@@ -305,6 +337,8 @@ def _dispatch(args, out):
         return _cmd_stats(engine, args, out)
     if args.command == "metrics":
         return _cmd_metrics(engine, args, out)
+    if args.command == "serve-metrics":
+        return _cmd_serve_metrics(engine, args, out)
     raise FleXPathError("unknown command %r" % args.command)
 
 
@@ -543,6 +577,39 @@ def _cmd_metrics(engine, args, out):
             "# %d of %d workload quer(ies) failed" % (failures, len(queries)),
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_serve_metrics(engine, args, out):
+    import time
+
+    from repro.obs.slowlog import disable_slow_query_log, enable_slow_query_log
+
+    if args.duration is not None and args.duration <= 0:
+        raise FleXPathError("--duration must be positive")
+    if args.slow_ms is not None:
+        enable_slow_query_log(args.slow_ms)
+    if args.query:
+        engine.query(args.query, k=args.k)
+    server = engine.engine.serve_metrics(port=args.port, host=args.host)
+    print(
+        "serving metrics at %s (routes: /metrics /metrics.json /healthz"
+        " /statusz)" % server.url,
+        file=out,
+    )
+    out.flush()
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if args.slow_ms is not None:
+            disable_slow_query_log()
     return 0
 
 

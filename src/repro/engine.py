@@ -111,6 +111,9 @@ class Engine:
             self._result_cache = None
         self._pool = SessionPool(self, size=pool_size)
         self.metrics = REGISTRY
+        self._trace_sink = None
+        self._trace_sampler = None
+        self._obs_server = None
 
     def _on_backend_growth(self, backend, start_id, end_id):
         # The backend version in the key already fences stale entries; the
@@ -223,6 +226,63 @@ class Engine:
                 else None
             ),
         }
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def trace_sink(self):
+        """The configured :class:`~repro.obs.export.TraceSink`, or None."""
+        return self._trace_sink
+
+    @property
+    def trace_sampler(self):
+        """The :class:`~repro.obs.export.TraceSampler` paired with the sink."""
+        return self._trace_sampler
+
+    def configure_tracing(self, sink, sample_rate=1.0):
+        """Attach a span-export sink with probabilistic per-query sampling.
+
+        With a sink attached, each ``session.query`` call rolls against
+        ``sample_rate``; sampled queries run traced (write lock, result
+        cache bypassed) and export their span tree to the sink, while the
+        caller still receives the bare result.  Explicit ``trace=True``
+        queries always export when a sink is configured.
+
+        ``configure_tracing(None)`` detaches the sink (and stops
+        sampling).  The sink's lifecycle stays with the caller — the
+        engine never closes it.
+        """
+        from repro.obs.export import TraceSampler
+
+        if sink is None:
+            self._trace_sink = None
+            self._trace_sampler = None
+            return None
+        self._trace_sampler = TraceSampler(sample_rate)
+        self._trace_sink = sink
+        return sink
+
+    def serve_metrics(self, port=0, host="127.0.0.1"):
+        """Start the embedded observability HTTP endpoint (idempotent).
+
+        Serves ``/metrics`` (Prometheus text), ``/metrics.json``,
+        ``/healthz``, and ``/statusz`` from a daemon thread;
+        ``port=0`` binds an ephemeral port.  Returns the running
+        :class:`~repro.obs.http.ObservabilityServer` (its ``.port`` is
+        the bound port); calling again returns the same server.
+        """
+        if self._obs_server is None:
+            from repro.obs.http import ObservabilityServer
+
+            server = ObservabilityServer(self, host=host, port=port)
+            server.start()
+            self._obs_server = server
+        return self._obs_server
+
+    @property
+    def observability_server(self):
+        """The running observability server, or None when never started."""
+        return self._obs_server
 
     # -- serving -----------------------------------------------------------------
 
@@ -490,6 +550,10 @@ class FleXPath:
                     "answers": len(nodes),
                     "result": nodes,
                     "trace": None,
+                    "cached": False,
+                    "version": self._engine.backend.version,
+                    "deadline_ms": None,
+                    "outcome": "ok",
                 },
             )
         return nodes

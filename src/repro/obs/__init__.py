@@ -17,6 +17,13 @@ overhead when nothing is watching:
 """
 
 from repro.obs.events import EVENTS, EventHub, HUB, off, on
+from repro.obs.export import (
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    TraceSampler,
+    TraceSink,
+)
+from repro.obs.http import ObservabilityServer
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
     Histogram,
@@ -28,6 +35,7 @@ from repro.obs.slowlog import (
     SlowQueryLog,
     disable_slow_query_log,
     enable_slow_query_log,
+    recent_slow_queries,
 )
 from repro.obs.trace import PHASES, LevelTrace, QueryTrace, build_query_trace
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
@@ -38,14 +46,19 @@ __all__ = [
     "EventHub",
     "HUB",
     "Histogram",
+    "InMemoryTraceSink",
+    "JsonlTraceSink",
     "LevelTrace",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ObservabilityServer",
     "PHASES",
     "QueryTrace",
     "REGISTRY",
     "SlowQueryLog",
+    "TraceSampler",
+    "TraceSink",
     "Tracer",
     "build_query_trace",
     "disable_slow_query_log",
@@ -53,4 +66,5 @@ __all__ = [
     "get_registry",
     "off",
     "on",
+    "recent_slow_queries",
 ]

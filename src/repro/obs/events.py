@@ -3,17 +3,26 @@
 SQLAlchemy instruments its engine with listeners at a handful of fixed
 points (``before_cursor_execute`` / ``after_cursor_execute``, pool
 checkouts); FleXPath does the same with a process-wide :class:`EventHub`
-and six event names:
+and a fixed set of event names:
 
-==================  =========================================================
-``query_start``     a ``FleXPath.query``/``exact`` call begins
-``query_end``       it finished (payload carries wall time, levels, answers)
-``level_executed``  one plan execution completed (DPO runs one per level,
-                    SSO/Hybrid one per restart)
-``cache_hit``       an IR-engine expression cache probe hit
-``cache_miss``      ... or missed
-``doc_ingested``    a document was spliced into a :class:`Corpus`
-==================  =========================================================
+====================  =======================================================
+``query_start``       a ``FleXPath.query``/``exact`` call begins
+``query_end``         it finished (payload carries wall time, levels, answers)
+``level_executed``    one plan execution completed (DPO runs one per level,
+                      SSO/Hybrid one per restart)
+``cache_hit``         an IR-engine expression cache probe hit
+``cache_miss``        ... or missed
+``doc_ingested``      a document was spliced into a :class:`Corpus`
+``wal_append``        a WAL record was durably appended (bytes, fsync time)
+``wal_replay``        a WAL tail was recovered on open (records applied,
+                      torn-tail bytes truncated)
+``segment_loaded``    a sealed segment artifact was mapped/decoded on open
+``segment_sealed``    a segment artifact was written (create/compact)
+``hydration``         a lazy sealed payload materialized (postings
+                      directory, statistics)
+``compaction``        a WAL tail was folded into a sealed segment
+``storage_corruption``  a CRC/validation check failed on a storage artifact
+====================  =======================================================
 
 Listeners are plain callables taking one dict payload::
 
@@ -47,6 +56,13 @@ EVENTS = (
     "cache_hit",
     "cache_miss",
     "doc_ingested",
+    "wal_append",
+    "wal_replay",
+    "segment_loaded",
+    "segment_sealed",
+    "hydration",
+    "compaction",
+    "storage_corruption",
 )
 
 

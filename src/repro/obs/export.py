@@ -1,0 +1,162 @@
+"""Pluggable span export: where structured trace records go.
+
+A :class:`~repro.obs.tracer.Tracer` built with a sink emits one JSON-safe
+record per completed span::
+
+    {"trace_id": "9f2c...", "span_id": "0002", "parent_id": "0001",
+     "name": "execute", "start": 1754600000.123, "end": 1754600000.145,
+     "seconds": 0.022}
+
+plus one root record per trace (``parent_id`` None, emitted last by
+``Tracer.finish_root``, carrying the query text and outcome under
+``"attributes"``).  A :class:`TraceSink` is anything with an
+``export(record)`` method; two stock sinks ship here:
+
+- :class:`JsonlTraceSink` — appends one JSON line per record to a file,
+  the hand-off format for offline analysis (``jq``, pandas, or an OTLP
+  shipper tailing the file);
+- :class:`InMemoryTraceSink` — a bounded ring buffer of the most recent
+  records, cheap enough to leave attached in production and inspectable
+  from a live process (tests use it as the capture spy).
+
+Production runs pair a sink with *probabilistic sampling* instead of the
+all-or-nothing ``trace=True``: ``Engine.configure_tracing(sink,
+sample_rate=0.01)`` traces ~1% of queries, chosen per query by
+:class:`TraceSampler`, and still returns bare results to callers.  Both
+sinks are thread-safe — sampled queries on concurrent sessions share one
+sink.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from collections import deque
+
+from repro.errors import FleXPathError
+
+
+class TraceSink:
+    """The span-export protocol: override :meth:`export`.
+
+    ``export`` receives one JSON-safe record per completed span and must
+    tolerate being called from any thread.  :meth:`close` releases
+    whatever the sink holds (file handles); the base implementation is a
+    no-op so purely in-memory sinks need not override it.
+    """
+
+    def export(self, record):
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class InMemoryTraceSink(TraceSink):
+    """Bounded ring buffer of the most recent span records.
+
+    Old records fall off the far end once ``capacity`` is reached, so a
+    long-lived process can keep the sink attached indefinitely.
+    """
+
+    def __init__(self, capacity=2048):
+        if capacity < 1:
+            raise FleXPathError("sink capacity must be >= 1")
+        self._records = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self):
+        return self._records.maxlen
+
+    def export(self, record):
+        with self._lock:
+            self._records.append(record)
+
+    def records(self):
+        """The retained records, oldest first (a copy)."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self):
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self):
+        return "InMemoryTraceSink(%d/%d)" % (len(self), self.capacity)
+
+
+class JsonlTraceSink(TraceSink):
+    """Appends one JSON line per span record to a file.
+
+    Lines are flushed per record (so ``tail -f`` and crash post-mortems
+    see every exported span) but not fsync'd — span export is telemetry,
+    not a durability log.
+    """
+
+    def __init__(self, path):
+        self._path = str(path)
+        self._handle = open(self._path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    @property
+    def path(self):
+        return self._path
+
+    def export(self, record):
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self):
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self):
+        return "JsonlTraceSink(%r)" % self._path
+
+
+class TraceSampler:
+    """Decides, per query, whether this one gets traced and exported.
+
+    ``rate`` is the probability in [0, 1]; 0 and 1 short-circuit without
+    consuming randomness, so deterministic tests can pin either extreme.
+    ``rng`` accepts a seeded :class:`random.Random` for reproducible
+    mid-rate tests.
+    """
+
+    __slots__ = ("rate", "_rng")
+
+    def __init__(self, rate, rng=None):
+        if not 0.0 <= rate <= 1.0:
+            raise FleXPathError("sample_rate must be in [0, 1]")
+        self.rate = rate
+        self._rng = rng if rng is not None else random
+
+    def sample(self):
+        """True when the current query should be traced."""
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        return self._rng.random() < self.rate
+
+    def __repr__(self):
+        return "TraceSampler(rate=%g)" % self.rate

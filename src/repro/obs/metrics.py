@@ -64,8 +64,36 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def quantile(self, q):
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Prometheus-style: find the bucket the rank falls into and
+        interpolate linearly between its bounds, then clamp to the observed
+        ``[min, max]`` (which this histogram tracks exactly).  Ranks landing
+        in the +Inf overflow bucket return ``max``.  None when empty.
+        """
+        if not self.total:
+            return None
+        rank = q * self.total
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(BUCKET_BOUNDS, self.counts):
+            cumulative += count
+            if count and cumulative >= rank:
+                position = (rank - (cumulative - count)) / count
+                value = lower + (bound - lower) * position
+                return max(self.min, min(value, self.max))
+            lower = bound
+        return self.max
+
     def as_dict(self):
-        """JSON-safe view; buckets keyed by upper bound, +Inf last."""
+        """JSON-safe view; buckets keyed by upper bound, +Inf last.
+
+        ``derived`` carries bucket-interpolated p50/p95/p99 estimates —
+        the quantiles a Prometheus server would compute with
+        ``histogram_quantile``, precomputed here so the JSON mirror (CLI
+        ``metrics --json``, ``/metrics.json``) is self-contained.
+        """
         buckets = {}
         for bound, count in zip(BUCKET_BOUNDS, self.counts):
             if count:
@@ -79,6 +107,11 @@ class Histogram:
             "max": self.max,
             "mean": self.sum / self.total if self.total else None,
             "buckets": buckets,
+            "derived": {
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            },
         }
 
 
@@ -194,34 +227,52 @@ class MetricsRegistry:
         Metric names are sanitized to the Prometheus grammar (dots and
         dashes become underscores) and prefixed ``flexpath_``; histograms
         render cumulative ``_bucket{le=...}`` series plus ``_sum`` and
-        ``_count``, as the format requires.
+        ``_count``, as the format requires.  Two raw names that sanitize to
+        the same Prometheus name (``a.b`` vs ``a-b``) stay distinct
+        samples: later collisions get a ``_2``/``_3`` suffix so the
+        exposition never repeats a metric name.
+
+        The registry lock is held only long enough to snapshot — string
+        formatting (O(metrics × buckets)) runs outside it, so a large
+        exposition never stalls the hot recording paths.
         """
         with self._lock:
             counters = sorted(self._counters.items())
             gauges = sorted(self._gauges.items())
-            histograms = sorted(self._histograms.items())
-            lines = []
-            for name, value in counters:
-                metric = _prom_name(name)
-                lines.append("# TYPE %s counter" % metric)
-                lines.append("%s %s" % (metric, _prom_value(value)))
-            for name, value in gauges:
-                metric = _prom_name(name)
-                lines.append("# TYPE %s gauge" % metric)
-                lines.append("%s %s" % (metric, _prom_value(value)))
-            for name, histogram in histograms:
-                metric = _prom_name(name)
-                lines.append("# TYPE %s histogram" % metric)
-                cumulative = 0
-                for bound, count in zip(BUCKET_BOUNDS, histogram.counts):
-                    cumulative += count
-                    lines.append(
-                        '%s_bucket{le="%g"} %d' % (metric, bound, cumulative)
-                    )
-                cumulative += histogram.counts[-1]
-                lines.append('%s_bucket{le="+Inf"} %d' % (metric, cumulative))
-                lines.append("%s_sum %s" % (metric, _prom_value(histogram.sum)))
-                lines.append("%s_count %d" % (metric, histogram.total))
+            histograms = [
+                (name, list(histogram.counts), histogram.sum, histogram.total)
+                for name, histogram in sorted(self._histograms.items())
+            ]
+        taken = {}
+
+        def unique(name):
+            metric = _prom_name(name)
+            seen = taken.get(metric, 0) + 1
+            taken[metric] = seen
+            return metric if seen == 1 else "%s_%d" % (metric, seen)
+
+        lines = []
+        for name, value in counters:
+            metric = unique(name)
+            lines.append("# TYPE %s counter" % metric)
+            lines.append("%s %s" % (metric, _prom_value(value)))
+        for name, value in gauges:
+            metric = unique(name)
+            lines.append("# TYPE %s gauge" % metric)
+            lines.append("%s %s" % (metric, _prom_value(value)))
+        for name, counts, total_sum, total in histograms:
+            metric = unique(name)
+            lines.append("# TYPE %s histogram" % metric)
+            cumulative = 0
+            for bound, count in zip(BUCKET_BOUNDS, counts):
+                cumulative += count
+                lines.append(
+                    '%s_bucket{le="%g"} %d' % (metric, bound, cumulative)
+                )
+            cumulative += counts[-1]
+            lines.append('%s_bucket{le="+Inf"} %d' % (metric, cumulative))
+            lines.append("%s_sum %s" % (metric, _prom_value(total_sum)))
+            lines.append("%s_count %d" % (metric, total))
         return "\n".join(lines) + "\n"
 
     # -- lifecycle -----------------------------------------------------------

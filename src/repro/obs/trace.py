@@ -51,6 +51,7 @@ class QueryTrace:
     spans: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     levels: list = field(default_factory=list)  # LevelTrace per plan run
+    trace_id: str = None  # set when the run exported spans to a sink
 
     # -- convenience passthroughs -------------------------------------------
 
@@ -91,6 +92,7 @@ class QueryTrace:
     def as_dict(self):
         """JSON-safe dict mirror of the whole trace."""
         return {
+            "trace_id": self.trace_id,
             "algorithm": self.result.algorithm,
             "k": self.result.k,
             "scheme": getattr(self.result.scheme, "name", str(self.result.scheme)),
@@ -180,4 +182,5 @@ def build_query_trace(result, tracer, total_seconds):
         spans=snapshot["spans"],
         counters=snapshot["counters"],
         levels=list(result.traces),
+        trace_id=tracer.trace_id,
     )

@@ -168,6 +168,13 @@ class Session:
         join boundaries (:class:`~repro.errors.QueryTimeoutError` on
         expiry).  Traced queries bypass the result cache and run under the
         write lock, because ``attach_tracer`` mutates the shared IR engine.
+
+        When the engine has a trace sink configured
+        (``Engine.configure_tracing``), a per-query sampling decision may
+        additionally promote this call to a traced run whose spans export
+        to the sink; the caller still gets the bare result.  Sampled
+        queries pay the traced query's costs (write lock, result-cache
+        bypass) — size ``sample_rate`` accordingly.
         """
         if self._closed:
             raise FleXPathError("session is closed; check out a new one")
@@ -186,6 +193,15 @@ class Session:
         self._control = control
         self.queries += 1
         query_text = query if isinstance(query, str) else tpq.to_xpath()
+        # The sampling decision happens before the cache probe: a sampled
+        # query must actually evaluate for its spans to mean anything.
+        sink = engine.trace_sink
+        sampled = (
+            not trace
+            and sink is not None
+            and engine.trace_sampler.sample()
+        )
+        traced_run = trace or sampled
         if HUB.active:
             HUB.emit(
                 "query_start",
@@ -194,14 +210,14 @@ class Session:
                     "k": k,
                     "algorithm": strategy.name,
                     "scheme": scheme.name,
-                    "traced": bool(trace),
+                    "traced": traced_run,
                 },
             )
         started = perf_counter()
         query_trace = None
         cache_key = None
         try:
-            if result_cache is not None and not trace:
+            if result_cache is not None and not traced_run:
                 # Traced queries bypass the result cache — the caller asked
                 # to watch the evaluation, so returning a memo would be
                 # useless.
@@ -234,12 +250,15 @@ class Session:
                                 "result": cached,
                                 "trace": None,
                                 "cached": True,
+                                "version": engine.backend.version,
+                                "deadline_ms": deadline_ms,
+                                "outcome": "ok",
                             },
                         )
                     return cached
             rwlock = context.rwlock
             try:
-                if not trace:
+                if not traced_run:
                     # Read lock: any number of queries evaluate concurrently;
                     # ingest (the only mutation) takes the write side.
                     with rwlock.read_locked():
@@ -254,7 +273,7 @@ class Session:
                     # swaps the tracer on the *shared* IR engine, which would
                     # leak spans into (and race with) concurrent readers.
                     with rwlock.write_locked():
-                        tracer = Tracer()
+                        tracer = Tracer(sink=sink)
                         context.attach_tracer(tracer)
                         try:
                             result = strategy.top_k(
@@ -264,16 +283,38 @@ class Session:
                             )
                         finally:
                             context.attach_tracer(None)
-                    query_trace = build_query_trace(
-                        result, tracer, perf_counter() - started
-                    )
+                    if sink is not None:
+                        if REGISTRY.enabled:
+                            REGISTRY.inc("trace.exported")
+                        tracer.finish_root(
+                            "query",
+                            attributes={
+                                "query": query_text,
+                                "algorithm": result.algorithm,
+                                "k": k,
+                                "answers": len(result.answers),
+                                "sampled": sampled,
+                            },
+                        )
+                    if trace:
+                        query_trace = build_query_trace(
+                            result, tracer, perf_counter() - started
+                        )
             except QueryTimeoutError:
                 REGISTRY.inc("query.timeouts")
                 REGISTRY.inc("query.errors")
+                self._emit_aborted(
+                    query_text, k, strategy, scheme, started, deadline_ms,
+                    "timeout",
+                )
                 raise
             except QueryCancelledError:
                 REGISTRY.inc("query.cancellations")
                 REGISTRY.inc("query.errors")
+                self._emit_aborted(
+                    query_text, k, strategy, scheme, started, deadline_ms,
+                    "cancelled",
+                )
                 raise
             except Exception:
                 REGISTRY.inc("query.errors")
@@ -299,9 +340,37 @@ class Session:
                     "result": result,
                     "trace": query_trace,
                     "cached": False,
+                    "version": engine.backend.version,
+                    "deadline_ms": deadline_ms,
+                    "outcome": "ok",
                 },
             )
         return query_trace if trace else result
+
+    def _emit_aborted(self, query_text, k, strategy, scheme, started,
+                      deadline_ms, outcome):
+        """Emit ``query_end`` for a query that never produced a result."""
+        if not HUB.active:
+            return
+        HUB.emit(
+            "query_end",
+            {
+                "query": query_text,
+                "k": k,
+                "algorithm": strategy.name,
+                "scheme": scheme.name,
+                "seconds": perf_counter() - started,
+                "levels_evaluated": None,
+                "relaxations_used": None,
+                "answers": None,
+                "result": None,
+                "trace": None,
+                "cached": False,
+                "version": self._engine.backend.version,
+                "deadline_ms": deadline_ms,
+                "outcome": outcome,
+            },
+        )
 
 
 class SessionPool:

@@ -1,0 +1,247 @@
+"""Storage-plane observability: WAL, segment, hydration, compaction metrics."""
+
+import os
+import struct
+
+import pytest
+
+from repro.backend import diskfmt
+from repro.backend.disk import DiskBackend
+from repro.engine import Engine
+from repro.errors import CorruptStorageError
+from repro.obs.events import HUB
+from repro.obs.metrics import REGISTRY
+from repro.xmltree import parse
+from tests.conftest import LIBRARY_XML
+
+EXTRA_XML = (
+    "<article><title>Streaming</title><section>"
+    "<paragraph>incremental XML streaming</paragraph></section></article>"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    REGISTRY.reset()
+    HUB.clear()
+    yield
+    REGISTRY.reset()
+    HUB.clear()
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    return str(tmp_path / "corpus")
+
+
+def _seeded(corpus_dir):
+    backend = DiskBackend.create(corpus_dir)
+    backend.add_document(parse(LIBRARY_XML), name="library.xml")
+    return backend
+
+
+class TestWalMetrics:
+    def test_append_counts_bytes_and_latency(self, corpus_dir):
+        backend = _seeded(corpus_dir)
+        try:
+            assert REGISTRY.counter("wal.appends") == 1
+            assert REGISTRY.counter("wal.append_bytes") > 0
+            assert REGISTRY.histogram("wal.append_seconds")["count"] == 1
+            assert REGISTRY.histogram("wal.fsync_seconds")["count"] == 1
+        finally:
+            backend.close()
+
+    def test_append_emits_event(self, corpus_dir):
+        backend = DiskBackend.create(corpus_dir)
+        events = []
+        HUB.on("wal_append", events.append)
+        try:
+            backend.add_document(parse(EXTRA_XML), name="extra.xml")
+        finally:
+            backend.close()
+        (payload,) = events
+        assert payload["bytes"] > 0
+        assert payload["seconds"] >= payload["fsync_seconds"] >= 0
+
+    def test_replay_counts_records(self, corpus_dir):
+        _seeded(corpus_dir).close()
+        REGISTRY.reset()
+        events = []
+        HUB.on("wal_replay", events.append)
+        backend = DiskBackend.open(corpus_dir)
+        backend.close()
+        assert REGISTRY.counter("wal.replays") == 1
+        assert REGISTRY.counter("wal.replay_records") == 1
+        assert REGISTRY.counter("wal.torn_tail_truncations") == 0
+        (payload,) = events
+        assert payload["records"] == 1
+        assert payload["truncated_bytes"] == 0
+        assert payload["generation"] == 1
+
+    def test_torn_tail_truncation_is_counted(self, corpus_dir):
+        _seeded(corpus_dir).close()
+        wal_path = os.path.join(corpus_dir, "wal.log")
+        with open(wal_path, "ab") as handle:
+            handle.write(diskfmt.RECORD_MAGIC + struct.pack(">I", 999))
+        REGISTRY.reset()
+        backend = DiskBackend.open(corpus_dir)
+        backend.close()
+        assert REGISTRY.counter("wal.torn_tail_truncations") == 1
+        assert REGISTRY.counter("wal.truncated_bytes") > 0
+        assert REGISTRY.counter("wal.replay_records") == 1
+
+    def test_record_crc_failure_is_counted(self, corpus_dir):
+        _seeded(corpus_dir).close()
+        wal_path = os.path.join(corpus_dir, "wal.log")
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.seek(size - 1)
+            byte = handle.read(1)
+            handle.seek(size - 1)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        REGISTRY.reset()
+        corruptions = []
+        HUB.on("storage_corruption", corruptions.append)
+        backend = DiskBackend.open(corpus_dir)
+        backend.close()
+        assert REGISTRY.counter("wal.crc_failures") == 1
+        assert REGISTRY.counter("wal.replay_records") == 0
+        assert len(corruptions) == 1
+
+
+class TestSegmentMetrics:
+    def test_open_counts_segment_loads(self, corpus_dir):
+        _seeded(corpus_dir).close()
+        REGISTRY.reset()
+        loads = []
+        HUB.on("segment_loaded", loads.append)
+        backend = DiskBackend.open(corpus_dir)
+        backend.close()
+        assert REGISTRY.counter("segment.loads") == 3
+        assert REGISTRY.counter("segment.load_bytes") > 0
+        kinds = {payload["kind"] for payload in loads}
+        assert kinds == {"columns", "postings", "stats"}
+        for kind in kinds:
+            histogram = REGISTRY.histogram("segment.%s_decode_seconds" % kind)
+            assert histogram["count"] == 1
+
+    def test_seal_counts_and_events(self, corpus_dir):
+        seals = []
+        HUB.on("segment_sealed", seals.append)
+        backend = _seeded(corpus_dir)
+        try:
+            assert REGISTRY.counter("segment.seals") == 3  # create() seals one segment
+            backend.compact()
+            assert REGISTRY.counter("segment.seals") == 6
+            assert REGISTRY.histogram("segment.seal_seconds")["count"] == 6
+        finally:
+            backend.close()
+        assert {payload["kind"] for payload in seals} == {
+            "columns", "postings", "stats",
+        }
+
+    def test_segment_crc_failure_is_counted(self, corpus_dir):
+        _seeded(corpus_dir).close()
+        columns = os.path.join(corpus_dir, "seg-00000001", "columns.bin")
+        size = os.path.getsize(columns)
+        with open(columns, "r+b") as handle:
+            handle.seek(size // 2)
+            byte = handle.read(1)
+            handle.seek(size // 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        REGISTRY.reset()
+        corruptions = []
+        HUB.on("storage_corruption", corruptions.append)
+        with pytest.raises(CorruptStorageError):
+            DiskBackend.open(corpus_dir)
+        assert REGISTRY.counter("segment.crc_failures") == 1
+        assert len(corruptions) == 1
+        assert "columns.bin" in corruptions[0]["path"]
+
+
+class TestHydrationMetrics:
+    def test_first_touch_hydrates_postings_directory(self, corpus_dir):
+        backend = _seeded(corpus_dir)
+        backend.compact()
+        backend.close()
+        REGISTRY.reset()
+        hydrations = []
+        HUB.on("hydration", hydrations.append)
+        backend = DiskBackend.open(corpus_dir)
+        try:
+            # Cold open defers both heavy decodes.
+            assert REGISTRY.counter("disk.postings_directory_hydrations") == 0
+            assert REGISTRY.counter("disk.statistics_hydrations") == 0
+            backend.ir
+            backend.statistics
+            assert REGISTRY.counter("disk.postings_directory_hydrations") == 1
+            assert REGISTRY.counter("disk.statistics_hydrations") == 1
+            for name in (
+                "disk.postings_directory_hydration_seconds",
+                "disk.statistics_hydration_seconds",
+            ):
+                assert REGISTRY.histogram(name)["count"] == 1
+            # Hydration is once per open backend.
+            backend.ir
+            assert REGISTRY.counter("disk.postings_directory_hydrations") == 1
+        finally:
+            backend.close()
+        kinds = {payload["kind"] for payload in hydrations}
+        assert kinds == {"postings_directory", "statistics"}
+        directory_event = next(
+            p for p in hydrations if p["kind"] == "postings_directory"
+        )
+        assert directory_event["terms"] > 0
+
+    def test_query_through_engine_hydrates_touched_postings(self, corpus_dir):
+        backend = _seeded(corpus_dir)
+        backend.compact()
+        backend.close()
+        REGISTRY.reset()
+        engine = Engine.open(corpus_dir)
+        try:
+            # Wiring the engine's QueryContext touches ``ir`` once.
+            assert REGISTRY.counter("disk.postings_directory_hydrations") == 1
+            before = REGISTRY.counter("disk.posting_hydrations")
+            engine.query('//article[.contains("streaming")]', k=3)
+            assert REGISTRY.counter("disk.posting_hydrations") > before
+        finally:
+            engine.backend.close()
+
+
+class TestCompactionMetrics:
+    def test_compaction_span_and_gauges(self, corpus_dir):
+        backend = _seeded(corpus_dir)
+        compactions = []
+        HUB.on("compaction", compactions.append)
+        try:
+            assert REGISTRY.gauge("disk.wal_documents") == 1
+            backend.compact()
+            assert REGISTRY.counter("compaction.count") == 1
+            assert REGISTRY.counter("compaction.documents_folded") == 1
+            assert REGISTRY.histogram("compaction.seconds")["count"] == 1
+            assert REGISTRY.gauge("disk.generation") == 2
+            assert REGISTRY.gauge("disk.wal_documents") == 0
+        finally:
+            backend.close()
+        (payload,) = compactions
+        assert payload["generation"] == 2
+        assert payload["documents_folded"] == 1
+        assert payload["seconds"] > 0
+
+
+class TestKillSwitch:
+    def test_disabled_registry_records_nothing(self, corpus_dir):
+        REGISTRY.enabled = False
+        try:
+            backend = _seeded(corpus_dir)
+            backend.compact()
+            backend.close()
+            backend = DiskBackend.open(corpus_dir)
+            backend.close()
+        finally:
+            REGISTRY.enabled = True
+        snapshot = REGISTRY.as_dict()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["gauges"] == {}

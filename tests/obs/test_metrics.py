@@ -215,3 +215,161 @@ class TestGlobalRegistry:
         finally:
             REGISTRY.enabled = True
         assert REGISTRY.as_dict()["counters"] == {}
+
+
+class TestQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        assert histogram.as_dict()["derived"] == {
+            "p50": None, "p95": None, "p99": None,
+        }
+
+    def test_single_observation_pins_every_quantile(self):
+        histogram = Histogram()
+        histogram.observe(0.003)
+        for q in (0.5, 0.95, 0.99):
+            assert histogram.quantile(q) == pytest.approx(0.003)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        histogram = Histogram()
+        values = [0.0002 * (i + 1) for i in range(100)]
+        for value in values:
+            histogram.observe(value)
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert min(values) <= p50 <= p95 <= p99 <= max(values)
+        # Bucket interpolation: p50 lands within a bucket of the true median.
+        assert p50 == pytest.approx(0.01, rel=1.0)
+
+    def test_overflow_rank_returns_max(self):
+        histogram = Histogram()
+        histogram.observe(0.001)
+        histogram.observe(1e9)  # +Inf overflow bucket
+        assert histogram.quantile(0.99) == pytest.approx(1e9)
+
+    def test_as_dict_surfaces_derived_quantiles(self, registry):
+        for value in (0.001, 0.002, 0.004):
+            registry.observe("h", value)
+        derived = registry.histogram("h")["derived"]
+        assert derived["p50"] <= derived["p95"] <= derived["p99"]
+        assert 0.001 <= derived["p50"] <= 0.004
+
+
+class TestPrometheusConformance:
+    def test_inf_bucket_equals_count(self, registry):
+        for value in (0.0001, 0.002, 5.0, 1e6):
+            registry.observe("h", value)
+        text = registry.expose_text()
+        inf_line = next(
+            line for line in text.splitlines()
+            if line.startswith('flexpath_h_bucket{le="+Inf"}')
+        )
+        assert inf_line.endswith(" 4")
+        assert "flexpath_h_count 4" in text
+
+    def test_sum_and_count_agree_with_as_dict(self, registry):
+        values = (0.001, 0.003, 0.007)
+        for value in values:
+            registry.observe("lat", value)
+        registry.inc("hits", 5)
+        snapshot = registry.as_dict()
+        text = registry.expose_text()
+        count_line = next(
+            line for line in text.splitlines()
+            if line.startswith("flexpath_lat_count")
+        )
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("flexpath_lat_sum")
+        )
+        assert int(count_line.split()[1]) == (
+            snapshot["histograms"]["lat"]["count"]
+        )
+        assert float(sum_line.split()[1]) == pytest.approx(
+            snapshot["histograms"]["lat"]["sum"]
+        )
+        assert "flexpath_hits 5" in text
+
+    def test_every_histogram_bucket_series_is_cumulative(self, registry):
+        for i in range(30):
+            registry.observe("h", 0.0001 * (2 ** (i % 10)))
+        lines = [
+            line for line in registry.expose_text().splitlines()
+            if line.startswith("flexpath_h_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 30
+        assert len(lines) == len(BUCKET_BOUNDS) + 1  # every bound + +Inf
+
+    def test_sanitization_collisions_stay_distinct(self, registry):
+        registry.inc("a.b", 1)
+        registry.inc("a-b", 2)
+        registry.inc("a_b", 3)
+        text = registry.expose_text()
+        # Suffixes follow raw-name sort order: "a-b" < "a.b" < "a_b".
+        assert "flexpath_a_b 2" in text
+        assert "flexpath_a_b_2 1" in text
+        assert "flexpath_a_b_3 3" in text
+        names = [
+            line.split(" ", 1)[0] for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        assert len(names) == len(set(names))
+
+    def test_collision_suffixes_span_metric_kinds(self, registry):
+        registry.inc("q.x", 1)
+        registry.set_gauge("q-x", 7)
+        text = registry.expose_text()
+        assert "# TYPE flexpath_q_x counter" in text
+        assert "# TYPE flexpath_q_x_2 gauge" in text
+
+
+class TestExposeDuringRecording:
+    def test_concurrent_observe_during_expose(self, registry):
+        """expose_text snapshots under the lock and formats outside it, so
+        recorders never see a torn exposition nor a stalled lock."""
+        stop = threading.Event()
+        errors = []
+
+        def recorder():
+            i = 0
+            while not stop.is_set():
+                registry.inc("hits")
+                registry.observe("lat", 0.0001 * (1 + i % 64))
+                registry.set_gauge("g", i)
+                i += 1
+
+        def exposer():
+            try:
+                for _ in range(200):
+                    text = registry.expose_text()
+                    lines = [
+                        line for line in text.splitlines()
+                        if line.startswith("flexpath_lat_bucket")
+                    ]
+                    counts = [
+                        int(line.rsplit(" ", 1)[1]) for line in lines
+                    ]
+                    assert counts == sorted(counts)
+                    if lines:
+                        count_line = next(
+                            line for line in text.splitlines()
+                            if line.startswith("flexpath_lat_count")
+                        )
+                        assert counts[-1] == int(count_line.split()[1])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=recorder) for _ in range(3)]
+        expose_thread = threading.Thread(target=exposer)
+        for thread in threads:
+            thread.start()
+        expose_thread.start()
+        expose_thread.join()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors

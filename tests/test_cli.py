@@ -256,3 +256,78 @@ class TestMetrics:
         )
         assert code == 0
         assert not HUB.active
+
+
+class TestServeMetrics:
+    def _scrape(self, argv, paths):
+        """Run ``serve-metrics`` on a thread and fetch ``paths`` from it."""
+        import json
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main, args=(argv,), kwargs={"out": out}, daemon=True
+        )
+        thread.start()
+        url = None
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            match = re.search(r"http://[\d.]+:\d+", out.getvalue())
+            if match:
+                url = match.group(0)
+                break
+            time.sleep(0.02)
+        assert url, "serve-metrics never printed its URL"
+        bodies = {}
+        for path in paths:
+            with urllib.request.urlopen(url + path, timeout=5) as response:
+                body = response.read().decode()
+            bodies[path] = (
+                json.loads(body) if path != "/metrics" else body
+            )
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        return bodies
+
+    def test_serves_metrics_and_health(self, xml_file):
+        bodies = self._scrape(
+            [
+                "serve-metrics", xml_file, "--duration", "2",
+                "--query", "//article", "--slow-ms", "0",
+            ],
+            ["/healthz", "/metrics", "/statusz"],
+        )
+        assert bodies["/healthz"] == {"status": "ok"}
+        assert "flexpath_query_count" in bodies["/metrics"]
+        assert bodies["/statusz"]["backend"]["kind"] == "InMemoryBackend"
+        assert any(
+            detail["query"] == "//article"
+            for detail in bodies["/statusz"]["slow_queries"]
+        )
+
+    def test_serves_a_disk_corpus_with_storage_metrics(self, xml_file, tmp_path):
+        from repro.obs.metrics import REGISTRY
+
+        corpus = str(tmp_path / "corpus")
+        code, _ = run(["ingest", corpus, xml_file, "--compact"])
+        assert code == 0
+        REGISTRY.reset()
+        bodies = self._scrape(
+            [
+                "serve-metrics", corpus, "--duration", "2",
+                "--query", '//article[.contains("streaming")]',
+            ],
+            ["/metrics", "/statusz"],
+        )
+        metrics = bodies["/metrics"]
+        assert "flexpath_wal_replays 1" in metrics
+        assert "flexpath_segment_loads 3" in metrics
+        assert "flexpath_disk_postings_directory_hydrations 1" in metrics
+        assert bodies["/statusz"]["backend"]["kind"] == "DiskBackend"
+
+    def test_rejects_non_positive_duration(self, xml_file):
+        code, _ = run(["serve-metrics", xml_file, "--duration", "0"])
+        assert code == 1
