@@ -19,6 +19,12 @@ Quick start::
 
 from repro.backend import InMemoryBackend, StorageBackend, as_backend
 from repro.backend.disk import DiskBackend
+from repro.backend.sharded import (
+    HashRouter,
+    RoundRobinRouter,
+    ShardRouter,
+    ShardedBackend,
+)
 from repro.cache import ResultCache
 from repro.collection import Corpus, DocumentCollection
 from repro.compiled import CompiledQuery, PlanCache, compile_query
@@ -32,6 +38,7 @@ from repro.errors import (
     FTExprParseError,
     InvalidQueryError,
     InvalidRelaxationError,
+    QueryBatchError,
     QueryCancelledError,
     QueryParseError,
     QueryTimeoutError,
@@ -89,6 +96,7 @@ __all__ = [
     "FTExprParseError",
     "FleXPath",
     "FleXPathError",
+    "HashRouter",
     "Hybrid",
     "IREngine",
     "IRFirstDPO",
@@ -101,6 +109,7 @@ __all__ = [
     "NaiveRewriting",
     "PenaltyModel",
     "PlanCache",
+    "QueryBatchError",
     "QueryCancelledError",
     "QueryContext",
     "QueryControl",
@@ -110,11 +119,14 @@ __all__ = [
     "RWLock",
     "ResultCache",
     "RelaxationSchedule",
+    "RoundRobinRouter",
     "SSO",
     "STRUCTURE_FIRST",
     "ScoredAnswer",
     "Session",
     "SessionPool",
+    "ShardRouter",
+    "ShardedBackend",
     "SlowQueryLog",
     "StorageBackend",
     "TPQ",

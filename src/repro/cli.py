@@ -89,6 +89,11 @@ def build_parser():
         help="per-query evaluation budget; queries past it abort with"
         " a timeout error",
     )
+    query.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the corpus across N in-process shards and evaluate"
+        " scatter-gather (answers and scores identical to unsharded)",
+    )
 
     exact = commands.add_parser("exact", help="strict evaluation, no relaxation")
     exact.add_argument("file")
@@ -314,11 +319,38 @@ def _dispatch(args, out):
         return _cmd_open(args, out)
     import os
 
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        raise FleXPathError("--shards must be >= 1")
     if os.path.isdir(args.file):
         # A corpus directory: serve it straight off the mmap'd segments.
-        from repro.backend.disk import DiskBackend
+        # A sharded layout (shard-0000/ ...) opens as a ShardedBackend,
+        # anything else as a single DiskBackend.
+        from repro.backend.sharded import ShardedBackend
 
-        source = DiskBackend.open(args.file)
+        prefix = ShardedBackend.SHARD_DIR_PREFIX
+        existing = [
+            entry for entry in sorted(os.listdir(args.file))
+            if entry.startswith(prefix)
+            and os.path.isdir(os.path.join(args.file, entry))
+        ]
+        if existing:
+            source = ShardedBackend.open(
+                args.file, shard_count=shards or len(existing)
+            )
+        else:
+            from repro.backend.disk import DiskBackend
+
+            source = DiskBackend.open(args.file)
+    elif shards is not None:
+        # One parsed document still exercises the full scatter-gather
+        # path; multi-document corpora route across shards via ingest.
+        from repro.backend.sharded import ShardedBackend
+
+        source = ShardedBackend.in_memory(shards)
+        source.add_document(
+            _load_document(args.file), name=os.path.basename(args.file)
+        )
     else:
         source = _load_document(args.file)
     engine = FleXPath(
@@ -342,11 +374,20 @@ def _dispatch(args, out):
     raise FleXPathError("unknown command %r" % args.command)
 
 
-def _snippet(document, node, width=60):
-    text = document.full_text(node)
+def _snippet(source, node, width=60):
+    text = source.full_text(node)
     if len(text) > width:
         text = text[: width - 3] + "..."
     return text
+
+
+def _text_source(engine):
+    """Whatever renders answer snippets: the unified document, or — when
+    serving a sharded corpus (no unified node table) — the backend itself,
+    whose ``full_text`` resolves a GlobalNode through its owning shard."""
+    if engine.document is not None:
+        return engine.document
+    return engine.engine.backend
 
 
 def _cmd_query(engine, args, out):
@@ -377,7 +418,7 @@ def _cmd_query(engine, args, out):
             answer.relaxation_level,
         )
         if args.show_text:
-            line += "  | %s" % _snippet(engine.document, answer.node)
+            line += "  | %s" % _snippet(_text_source(engine), answer.node)
         print(line, file=out)
     return 0
 
@@ -421,7 +462,7 @@ def _cmd_query_batch(engine, args, out):
                 answer.relaxation_level,
             )
             if args.show_text:
-                line += "  | %s" % _snippet(engine.document, answer.node)
+                line += "  | %s" % _snippet(_text_source(engine), answer.node)
             print(line, file=out)
     return 0
 
@@ -470,6 +511,10 @@ def _cmd_search(engine, args, out):
     from repro.ir.ftexpr import parse_ftexpr
     from repro.ir.highlight import snippet as make_snippet
 
+    if engine.document is None:
+        raise FleXPathError(
+            "`search` needs a unified node table; run it per shard directory"
+        )
     expression = parse_ftexpr(args.ftexpr)
     matches = engine.keyword_search(args.ftexpr, k=args.k)
     print("# %d most specific match(es)" % len(matches), file=out)
@@ -522,6 +567,10 @@ def _cmd_dump(args, out):
 
 def _cmd_stats(engine, args, out):
     document = engine.document
+    if document is None:
+        raise FleXPathError(
+            "`stats` needs a unified node table; run it per shard directory"
+        )
     summary = document.stats_summary()
     print(
         "elements: %(nodes)d   distinct tags: %(tags)d   depth: %(depth)d"

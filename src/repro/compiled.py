@@ -91,6 +91,23 @@ class CompiledQuery:
             "CompiledQuery is immutable; cannot delete %r" % name
         )
 
+    # -- pickling -------------------------------------------------------------
+    #
+    # A CompiledQuery is the unit the sharded scatter path ships to worker
+    # processes.  The default slots protocol restores attributes through
+    # ``setattr`` (which this class forbids), so spell the state transfer
+    # out with ``object.__setattr__``.  The schedule drops its penalty
+    # model in transit (see RelaxationSchedule.__getstate__) — workers
+    # only execute prebuilt plans and read per-level scores, both of which
+    # are materialized in the artifact.
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # -- level accessors -----------------------------------------------------
 
     def __len__(self):

@@ -94,12 +94,27 @@ class Engine:
                  result_cache_size=None, plan_cache_size=None,
                  pool_size=DEFAULT_POOL_SIZE):
         self._backend = as_backend(source)
-        self._context = QueryContext(
-            self._backend, weights=weights, plan_cache_size=plan_cache_size
-        )
-        self._algorithms = {
-            name: cls(self._context) for name, cls in _ALGORITHMS.items()
-        }
+        if self._backend.document is None:
+            # A sharded backend has no unified node table: queries go
+            # through the scatter-gather coordinator, which presents the
+            # same context/strategy surface to sessions and caches.
+            from repro.sharding import ShardedQueryContext, ShardedStrategy
+
+            self._context = ShardedQueryContext(
+                self._backend, weights=weights,
+                plan_cache_size=plan_cache_size,
+            )
+            self._algorithms = {
+                name: ShardedStrategy(cls, self._context)
+                for name, cls in _ALGORITHMS.items()
+            }
+        else:
+            self._context = QueryContext(
+                self._backend, weights=weights, plan_cache_size=plan_cache_size
+            )
+            self._algorithms = {
+                name: cls(self._context) for name, cls in _ALGORITHMS.items()
+            }
         if cache:
             self._result_cache = (
                 ResultCache() if result_cache_size is None
@@ -154,6 +169,30 @@ class Engine:
         if os.path.exists(os.path.join(path, "MANIFEST.json")):
             return cls(DiskBackend.open(path), **kwargs)
         return cls(DiskBackend.create(path), **kwargs)
+
+    @classmethod
+    def sharded(cls, shard_count=4, router=None, path=None, **kwargs):
+        """Build an engine over a document-partitioned sharded corpus.
+
+        With ``path=None``, ``shard_count`` fresh in-process shards; with a
+        path, one WAL-durable :class:`~repro.backend.disk.DiskBackend`
+        directory per shard under it (``path/shard-0000`` ...), reopenable
+        with the same call.  ``router`` picks the document→shard placement
+        policy (default: stable hash of the document name).  Queries
+        scatter over the shards in parallel and merge with the
+        maxScoreGrowth early-termination bound; answers, scores, and
+        penalties are identical to an unsharded engine over the same
+        ingest sequence.
+        """
+        from repro.backend.sharded import ShardedBackend
+
+        if path is None:
+            backend = ShardedBackend.in_memory(shard_count, router=router)
+        else:
+            backend = ShardedBackend.open(
+                path, shard_count=shard_count, router=router
+            )
+        return cls(backend, **kwargs)
 
     # -- shared state ------------------------------------------------------------
 
@@ -311,7 +350,7 @@ class Engine:
 
     def query_many(self, queries, k=10, scheme=STRUCTURE_FIRST,
                    algorithm=None, max_relaxations=None, workers=4,
-                   deadline_ms=None):
+                   deadline_ms=None, return_exceptions=False):
         """Evaluate a batch concurrently; results keep input order.
 
         Each query runs through :meth:`query` on a worker thread — its own
@@ -320,9 +359,18 @@ class Engine:
         safely with concurrent ingest.  ``deadline_ms`` applies per query,
         not to the whole batch.
 
+        One failing query never aborts its siblings: the whole batch runs
+        to completion regardless.  Failures then surface together as a
+        :class:`~repro.errors.QueryBatchError` carrying every
+        ``(index, exception)`` pair in input order plus the successful
+        results — or, with ``return_exceptions=True``, inline in the
+        returned list at their query's position, asyncio-gather style.
+
         Args:
             queries: iterable of XPath-fragment strings or TPQs.
             workers: thread-pool width (1 degrades to a plain loop).
+            return_exceptions: put exceptions in the result list instead
+                of raising ``QueryBatchError``.
         """
         queries = list(queries)
         if not queries:
@@ -330,16 +378,43 @@ class Engine:
         if workers < 1:
             raise FleXPathError("workers must be >= 1")
 
-        def run(tpq):
-            return self.query(
-                tpq, k=k, scheme=scheme, algorithm=algorithm,
-                max_relaxations=max_relaxations, deadline_ms=deadline_ms,
-            )
+        outcomes = [None] * len(queries)
+        errors = [None] * len(queries)
+
+        def run(index):
+            try:
+                outcomes[index] = self.query(
+                    queries[index], k=k, scheme=scheme, algorithm=algorithm,
+                    max_relaxations=max_relaxations, deadline_ms=deadline_ms,
+                )
+            except Exception as exc:
+                errors[index] = exc
 
         if workers == 1 or len(queries) == 1:
-            return [run(tpq) for tpq in queries]
-        with ThreadPoolExecutor(max_workers=min(workers, len(queries))) as pool:
-            return list(pool.map(run, queries))
+            for index in range(len(queries)):
+                run(index)
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(queries))
+            ) as pool:
+                for future in [
+                    pool.submit(run, index) for index in range(len(queries))
+                ]:
+                    future.result()
+
+        failed = [
+            (index, exc) for index, exc in enumerate(errors) if exc is not None
+        ]
+        if not failed:
+            return outcomes
+        if return_exceptions:
+            return [
+                exc if exc is not None else outcome
+                for outcome, exc in zip(outcomes, errors)
+            ]
+        from repro.errors import QueryBatchError
+
+        raise QueryBatchError(failed, outcomes)
 
     def __repr__(self):
         return "Engine(%r, pool=%r)" % (self._backend, self._pool)
@@ -482,22 +557,27 @@ class FleXPath:
 
     def query_many(self, queries, k=10, scheme=STRUCTURE_FIRST,
                    algorithm=DEFAULT_ALGORITHM, max_relaxations=None,
-                   workers=4, deadline_ms=None):
+                   workers=4, deadline_ms=None, return_exceptions=False):
         """Evaluate a batch of queries concurrently; results keep input order.
 
         Each query runs on its own pooled session worker — same caching,
         metrics, and events as a sequential loop — under the backend read
         lock, so the batch interleaves safely with concurrent ingest.
+        A failing query never aborts its siblings; failures surface as a
+        :class:`~repro.errors.QueryBatchError` after the whole batch ran
+        (or inline with ``return_exceptions=True``).
 
         Args:
             queries: iterable of XPath-fragment strings or TPQs.
             workers: thread-pool width (1 degrades to a plain loop).
             deadline_ms: per-query (not whole-batch) evaluation budget.
+            return_exceptions: put exceptions in the result list instead
+                of raising ``QueryBatchError``.
         """
         return self._engine.query_many(
             queries, k=k, scheme=scheme, algorithm=algorithm,
             max_relaxations=max_relaxations, workers=workers,
-            deadline_ms=deadline_ms,
+            deadline_ms=deadline_ms, return_exceptions=return_exceptions,
         )
 
     def exact(self, query):
@@ -525,10 +605,15 @@ class FleXPath:
                 },
             )
         started = perf_counter()
-        oracle = self._contains_oracle()
         try:
             with self._context.rwlock.read_locked():
-                nodes = evaluate(tpq, self.document, contains_oracle=oracle)
+                if self.document is None:
+                    nodes = self._exact_sharded(tpq)
+                else:
+                    nodes = evaluate(
+                        tpq, self.document,
+                        contains_oracle=self._contains_oracle(),
+                    )
         except Exception:
             REGISTRY.inc("query.errors")
             raise
@@ -599,6 +684,37 @@ class FleXPath:
         return "\n".join(lines)
 
     # -- internals ------------------------------------------------------------------
+
+    def _exact_sharded(self, tpq):
+        """Strict evaluation over a sharded backend: per shard, merged.
+
+        Every document lives whole inside one shard, so the union of
+        per-shard strict answer sets (re-addressed to global ids) is the
+        unsharded answer set; sorting by global id restores document
+        order.  Caller holds the read lock.
+        """
+        from repro.backend.sharded import GlobalNode
+        from repro.query.evaluate import evaluate
+
+        backend = self._engine.backend
+        nodes = []
+        seen = set()
+        for shard_index, shard in enumerate(backend.shards):
+            ir = shard.ir
+
+            def oracle(node, ftexpr, _ir=ir):
+                return _ir.satisfies(node, ftexpr)
+
+            for node in evaluate(
+                tpq, shard.document, contains_oracle=oracle
+            ):
+                global_id = backend.translate_id(shard_index, node.node_id)
+                if global_id in seen:
+                    continue  # each shard's virtual root maps to global 0
+                seen.add(global_id)
+                nodes.append(GlobalNode(node, global_id, shard_index))
+        nodes.sort(key=lambda node: node.node_id)
+        return nodes
 
     def _coerce_query(self, query):
         return coerce_query(query)

@@ -75,3 +75,31 @@ class QueryTimeoutError(FleXPathError):
 
 class QueryCancelledError(FleXPathError):
     """Raised inside a query whose session was cancelled from another thread."""
+
+
+class QueryBatchError(FleXPathError):
+    """Raised after a ``query_many`` batch in which some queries failed.
+
+    One bad query never aborts its siblings: every query in the batch runs
+    to completion (or its own failure) first, then this error reports all
+    failures together, in input order.
+
+    Attributes:
+        errors: list of ``(index, exception)`` pairs, ascending by index.
+        results: the full batch in input order — a
+            :class:`~repro.topk.base.TopKResult` per succeeded query,
+            None at each failed position.
+    """
+
+    def __init__(self, errors, results):
+        self.errors = list(errors)
+        self.results = results
+        shown = "; ".join(
+            "#%d: %s" % (index, exc) for index, exc in self.errors[:3]
+        )
+        if len(self.errors) > 3:
+            shown += "; ..."
+        super().__init__(
+            "%d of %d queries failed: %s"
+            % (len(self.errors), len(results), shown)
+        )

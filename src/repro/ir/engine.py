@@ -52,6 +52,7 @@ class IREngine:
         self._document = document
         self._index = index if index is not None else InvertedIndex(document)
         self._virtual_root_id = virtual_root_id
+        self._idf_index = None
         self._tracer = NULL_TRACER
         self._local_match_cache = {}
         self._most_specific_cache = {}
@@ -86,6 +87,17 @@ class IREngine:
         one attribute check.
         """
         self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def set_idf_source(self, idf_index):
+        """Weight keyword scores by another index's ``idf`` statistics.
+
+        ``idf_index`` is any object exposing ``text_element_count`` and
+        ``document_frequency(term)``.  A :class:`~repro.backend.sharded.
+        ShardedBackend` points every shard-local engine at its corpus-wide
+        aggregate so shard-local scores are byte-identical to the
+        unsharded engine's; ``None`` restores local statistics.
+        """
+        self._idf_index = idf_index
 
     # -- lifetime metrics --------------------------------------------------------
 
@@ -150,7 +162,8 @@ class IREngine:
         if self._tracer.enabled:
             self._tracer.count("ir.score_calls")
         terms = self._positive_terms(expression)
-        return score_subtree(self._index, node, terms)
+        return score_subtree(self._index, node, terms,
+                             idf_index=self._idf_index)
 
     # -- ranked retrieval --------------------------------------------------------
 

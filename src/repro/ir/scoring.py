@@ -63,14 +63,24 @@ def tf_saturation(frequency):
     return frequency / (frequency + 1.0)
 
 
-def score_subtree(index, node, stemmed_terms):
-    """Score a node's subtree for a list of stemmed terms; in [0, 1)."""
+def score_subtree(index, node, stemmed_terms, idf_index=None):
+    """Score a node's subtree for a list of stemmed terms; in [0, 1).
+
+    ``idf_index`` optionally supplies the corpus-wide ``idf`` statistics
+    (``text_element_count`` / ``document_frequency``) while term
+    frequencies still come from ``index``.  A sharded corpus scores each
+    node against its shard-local postings but must weight terms by the
+    *global* document frequencies, or per-shard scores would diverge from
+    the unsharded engine's.
+    """
     if not stemmed_terms:
         return 0.0
+    if idf_index is None:
+        idf_index = index
     numerator = 0.0
     denominator = 0.0
     for term in stemmed_terms:
-        weight = idf(index, term)
+        weight = idf(idf_index, term)
         denominator += weight
         frequency = index.subtree_term_frequency(term, node)
         numerator += weight * tf_saturation(frequency)

@@ -172,6 +172,11 @@ class ObservabilityServer:
             },
             "slow_queries": recent_slow_queries(),
             "metrics_enabled": REGISTRY.enabled,
+            "shards": (
+                engine.backend.shard_topology()
+                if hasattr(engine.backend, "shard_topology")
+                else None
+            ),
             "uptime_seconds": (
                 time() - self._started_wall
                 if self._started_wall is not None

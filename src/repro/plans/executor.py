@@ -37,6 +37,16 @@ STRICT = "strict"
 SSO_MODE = "sso"
 HYBRID_MODE = "hybrid"
 
+#: Tolerance on the threshold-prune comparison.  A tuple's optimistic bound
+#: (partial score + precomputed max-growth sum) and the guarantees feeding
+#: the threshold (partial score + guaranteed-growth sum) accumulate the same
+#: weights in different orders, so at an exact score tie the two can differ
+#: by a few ulps — and a strict ``optimistic < threshold`` compare would
+#: prune the K-th boundary answer against its own guarantee.  Score deltas
+#: derive from penalty weights (unit scale), so one part in 10⁹ separates
+#: genuinely distinct levels while absorbing reordering noise.
+PRUNE_EPSILON = 1e-9
+
 
 @dataclass
 class ExecutionStats:
@@ -250,7 +260,7 @@ class PlanExecutor:
                                 growth_ks[position],
                                 scheme,
                             )
-                            if optimistic < limit:
+                            if optimistic < limit - PRUNE_EPSILON:
                                 stats.tuples_pruned += 1
                             else:
                                 kept.append(item)

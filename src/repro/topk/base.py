@@ -199,6 +199,8 @@ class TopKResult:
     restarts: int = 0
     stats: list = field(default_factory=list)  # ExecutionStats per plan run
     traces: list = field(default_factory=list)  # LevelTrace per run (traced)
+    shard_rounds: int = 0  # coordinated scatter rounds (sharded execution)
+    shards_pruned: int = 0  # shards retired by the maxScoreGrowth bound
 
     def nodes(self):
         return [answer.node for answer in self.answers]

@@ -56,6 +56,52 @@ class TestQuery:
         assert code == 0
         assert "relaxations used: 0" in output
 
+    def test_shards_matches_unsharded_scores(self, xml_file):
+        query = '//article[./section[./paragraph and .contains("XML")]]'
+        code, sharded = run(
+            ["query", xml_file, query, "-k", "3", "--shards", "2",
+             "--show-text"]
+        )
+        assert code == 0
+        flat_code, flat = run(
+            ["query", xml_file, query, "-k", "3", "--show-text"]
+        )
+        assert flat_code == 0
+
+        def scores(output):
+            return [
+                line.split("ss=", 1)[1]
+                for line in output.splitlines()
+                if "ss=" in line
+            ]
+
+        assert scores(sharded) == scores(flat)
+
+    def test_shards_must_be_positive(self, xml_file, capsys):
+        code, _output = run(["query", xml_file, "//article", "--shards", "0"])
+        assert code == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_corpus_directory(self, tmp_path):
+        from repro import Engine, RoundRobinRouter
+        from repro.xmltree import parse
+
+        path = str(tmp_path / "corpus")
+        engine = Engine.sharded(
+            shard_count=2, router=RoundRobinRouter(), path=path
+        )
+        for index in range(4):
+            engine.backend.add_document(
+                parse("<root><a>gold %d</a></root>" % index),
+                name="doc%d" % index,
+            )
+        engine.backend.close()
+        code, output = run(
+            ["query", path, '//a[.contains("gold")]', "-k", "2"]
+        )
+        assert code == 0
+        assert output.count("<a>") == 2
+
     def test_bad_query_is_an_error(self, xml_file):
         code, _output = run(["query", xml_file, "not a query"])
         assert code == 1

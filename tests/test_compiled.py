@@ -190,6 +190,51 @@ class TestFacadeIntegration:
         with pytest.raises(FleXPathError):
             engine.query_many([QUERY], workers=0)
 
+    def test_query_many_one_failure_does_not_abort_siblings(self):
+        from repro.errors import QueryBatchError, QueryParseError
+
+        engine = FleXPath.from_xml(LIBRARY_XML)
+        queries = [QUERY, "//article[", "//article[./title]", "//]["]
+        with pytest.raises(QueryBatchError) as info:
+            engine.query_many(queries, k=5, workers=3)
+        error = info.value
+        assert [index for index, _ in error.errors] == [1, 3]
+        assert all(
+            isinstance(exc, QueryParseError) for _, exc in error.errors
+        )
+        assert len(error.results) == len(queries)
+        assert error.results[1] is None and error.results[3] is None
+        reference = engine.query(QUERY, k=5)
+        assert error.results[0].node_ids() == reference.node_ids()
+        assert error.results[2] is not None
+
+    def test_query_many_failure_policy_sequential_path(self):
+        from repro.errors import QueryBatchError
+
+        engine = FleXPath.from_xml(LIBRARY_XML)
+        with pytest.raises(QueryBatchError) as info:
+            engine.query_many([QUERY, "//article["], k=5, workers=1)
+        assert [index for index, _ in info.value.errors] == [1]
+        assert info.value.results[0].node_ids()
+
+    def test_query_many_return_exceptions_inline(self):
+        from repro.errors import QueryParseError
+
+        engine = FleXPath.from_xml(LIBRARY_XML)
+        results = engine.query_many(
+            [QUERY, "//article[", "//book"],
+            k=5,
+            workers=2,
+            return_exceptions=True,
+        )
+        assert len(results) == 3
+        assert isinstance(results[1], QueryParseError)
+        reference = engine.query(QUERY, k=5)
+        assert results[0].node_ids() == reference.node_ids()
+        assert results[2] is not None and not isinstance(
+            results[2], Exception
+        )
+
     def test_result_cache_size_forwarded(self, tmp_path):
         engine = FleXPath.from_xml(LIBRARY_XML, result_cache_size=3)
         assert engine.result_cache.max_entries == 3

@@ -78,6 +78,24 @@ class TestDetection:
         )
         assert check_layering.check(root) == []
 
+    def test_storage_layer_upward_import_is_flagged(self, tmp_path):
+        root = _fake_tree(tmp_path, "")
+        backend = root / "repro" / "backend"
+        backend.mkdir(parents=True)
+        (backend / "__init__.py").write_text("", encoding="utf-8")
+        (backend / "sharded.py").write_text(
+            "from repro.topk.dpo import DPO\n", encoding="utf-8"
+        )
+        violations = check_layering.check(root)
+        assert len(violations) == 1
+        assert "query-side" in violations[0]
+
+    def test_guarded_code_cannot_import_sharded_backend(self, tmp_path):
+        root = _fake_tree(
+            tmp_path, "from repro.backend.sharded import ShardedBackend\n"
+        )
+        assert len(check_layering.check(root)) == 1
+
     def test_module_getattr_shim_is_exempt(self, tmp_path):
         root = _fake_tree(
             tmp_path,

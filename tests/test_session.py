@@ -7,6 +7,7 @@ import pytest
 from repro.engine import Engine, FleXPath
 from repro.errors import (
     FleXPathError,
+    QueryBatchError,
     QueryCancelledError,
     QueryTimeoutError,
 )
@@ -127,10 +128,13 @@ class TestDeadline:
             facade.query(QUERY, deadline_ms=1e-6)
 
     def test_deadline_applies_per_query_in_batch(self, engine):
-        with pytest.raises(QueryTimeoutError):
+        with pytest.raises(QueryBatchError) as info:
             engine.query_many(
                 [QUERY, "//article"], workers=2, deadline_ms=1e-6
             )
+        assert len(info.value.errors) == 2
+        for _, exc in info.value.errors:
+            assert isinstance(exc, QueryTimeoutError)
 
 
 class TestCancellation:

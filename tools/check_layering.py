@@ -17,7 +17,11 @@ fails (exit 1, one line per violation) on:
 - ``from <anywhere> import <banned name>`` for the concrete storage
   classes (``NodeTable``, ``ColumnarStore``, ``InvertedIndex``,
   ``DocumentStatistics``, ``InMemoryBackend``, ``TagDictionary``,
-  ``Posting``).
+  ``Posting``, ``ShardedBackend``);
+- the reverse direction: modules under ``repro.backend`` (including the
+  sharded topology in ``backend/sharded.py``) importing query-side
+  packages (``repro.topk``, ``repro.plans``, ``repro.sharding``, the
+  engine/session facades, ...) — storage must not reach back up.
 
 The one sanctioned escape hatch is a module-level ``__getattr__`` (PEP
 562): a lazy compatibility re-export like
@@ -46,6 +50,7 @@ BANNED_MODULES = {
     "repro.ir.storage",
     "repro.backend.memory",
     "repro.backend.stats",
+    "repro.backend.sharded",
 }
 
 #: Concrete storage names that must not be imported by name either.
@@ -57,6 +62,7 @@ BANNED_NAMES = {
     "InMemoryBackend",
     "TagDictionary",
     "Posting",
+    "ShardedBackend",
 }
 
 #: Backend modules guarded code MAY import (the seam itself).
@@ -65,6 +71,23 @@ ALLOWED_MODULES = {
     "repro.backend.base",
     "repro.backend.kernels",
 }
+
+#: The reverse direction: the storage layer (``repro.backend``, including
+#: the sharded coordinator's storage half) sits *below* the Engine/Session
+#: split, so it must never import query-side packages back — an upward
+#: import would make the layers circular and couple every backend to the
+#: planner.  Prefix match: ``repro.topk.dpo`` trips on ``repro.topk``.
+BACKEND_BANNED_PREFIXES = (
+    "repro.topk",
+    "repro.plans",
+    "repro.stats",
+    "repro.relax",
+    "repro.rank",
+    "repro.sharding",
+    "repro.compiled",
+    "repro.engine",
+    "repro.session",
+)
 
 
 def _walk_guarded(tree):
@@ -109,6 +132,35 @@ def _module_violations(path, tree):
                     )
 
 
+def _backend_violations(path, tree):
+    """Yield upward imports (storage → query side) in one backend module."""
+
+    def banned(module):
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in BACKEND_BANNED_PREFIXES
+        )
+
+    for node in _walk_guarded(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if banned(alias.name):
+                    yield (
+                        node.lineno,
+                        "storage layer imports query-side module %r"
+                        % alias.name,
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level:
+                module = "repro.backend" + ("." + module if module else "")
+            if banned(module):
+                yield (
+                    node.lineno,
+                    "storage layer imports query-side module %r" % module,
+                )
+
+
 def check(src_root):
     """All layering violations under ``src_root`` as printable strings."""
     violations = []
@@ -116,6 +168,12 @@ def check(src_root):
         for path in sorted((src_root / "repro" / package).rglob("*.py")):
             tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
             for lineno, message in _module_violations(path, tree):
+                violations.append("%s:%d: %s" % (path, lineno, message))
+    backend_root = src_root / "repro" / "backend"
+    if backend_root.is_dir():
+        for path in sorted(backend_root.rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for lineno, message in _backend_violations(path, tree):
                 violations.append("%s:%d: %s" % (path, lineno, message))
     return violations
 
