@@ -33,9 +33,12 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.backend.kernels import (
+    max_value_per_ancestor,
+    max_value_per_descendant,
     semi_join_ancestor_ids,
     semi_join_descendant_ids,
     structural_join_ids,
+    twig_filter_ids,
 )
 
 
@@ -187,6 +190,28 @@ class StorageBackend(ABC):
         """Ids from ``descendant_ids`` with at least one joining ancestor."""
         return semi_join_descendant_ids(
             self.ends, self.levels, ancestor_ids, descendant_ids, axis=axis
+        )
+
+    def twig_filter_ids(self, pools, parents, axes, order):
+        """Holistic twig filter over id-sorted per-variable candidate pools."""
+        return twig_filter_ids(
+            self.ends, self.levels, pools, parents, axes, order
+        )
+
+    def max_value_per_ancestor(self, ancestor_ids, descendant_ids,
+                               descendant_values, axis="ad"):
+        """Per ancestor, the max value over its joining descendants."""
+        return max_value_per_ancestor(
+            self.ends, self.levels, ancestor_ids, descendant_ids,
+            descendant_values, axis=axis,
+        )
+
+    def max_value_per_descendant(self, ancestor_ids, ancestor_values,
+                                 descendant_ids, axis="ad"):
+        """Per descendant, the max value over its joining ancestors."""
+        return max_value_per_descendant(
+            self.ends, self.levels, ancestor_ids, ancestor_values,
+            descendant_ids, axis=axis,
         )
 
     # -- full-text ------------------------------------------------------------

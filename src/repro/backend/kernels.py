@@ -180,3 +180,169 @@ def semi_join_ancestor_ids(ends, levels, ancestor_ids, descendant_ids,
     if len(matched) == a_len:
         return list(ancestor_ids)
     return [node_id for node_id in ancestor_ids if node_id in matched]
+
+
+def max_value_per_ancestor(ends, levels, ancestor_ids, descendant_ids,
+                           descendant_values, axis="ad"):
+    """Per ancestor, the max value over its joining descendants.
+
+    ``descendant_values`` maps descendant id to a float.  Returns a dict
+    ``{ancestor_id: max}`` containing only ancestors with at least one
+    match — the max-aggregation half of the twig keyword-score pass.
+
+    The ancestor-descendant axis exploits nesting instead of scanning the
+    stack per match: a descendant's value lands on the *top* open ancestor
+    only, and a popped ancestor folds its accumulated max into the new top
+    (every descendant inside the popped region is inside the region below
+    it too).  The parent-child axis needs no folding — only the top of the
+    stack can be the parent.
+    """
+    _check_axis(axis)
+    best = {}
+    stack = []  # [ancestor_id, accumulated_max or None]
+    a_index = 0
+    d_index = 0
+    a_len = len(ancestor_ids)
+    d_len = len(descendant_ids)
+    parent_only = axis == "pc"
+
+    def close_top():
+        ancestor, accumulated = stack.pop()
+        if accumulated is None:
+            return
+        current = best.get(ancestor)
+        if current is None or accumulated > current:
+            best[ancestor] = accumulated
+        if not parent_only and stack:
+            below = stack[-1][1]
+            if below is None or accumulated > below:
+                stack[-1][1] = accumulated
+
+    while d_index < d_len:
+        descendant = descendant_ids[d_index]
+        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
+            d_index = bisect_left(
+                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
+            )
+            continue
+        while a_index < a_len and ancestor_ids[a_index] < descendant:
+            candidate = ancestor_ids[a_index]
+            while stack and ends[stack[-1][0]] <= candidate:
+                close_top()
+            stack.append([candidate, None])
+            a_index += 1
+        while stack and ends[stack[-1][0]] <= descendant:
+            close_top()
+        if stack:
+            top = stack[-1]
+            if not parent_only:
+                value = descendant_values[descendant]
+                if top[1] is None or value > top[1]:
+                    top[1] = value
+            elif levels[top[0]] + 1 == levels[descendant]:
+                value = descendant_values[descendant]
+                current = best.get(top[0])
+                if current is None or value > current:
+                    best[top[0]] = value
+        d_index += 1
+    while stack:
+        close_top()
+    return best
+
+
+def max_value_per_descendant(ends, levels, ancestor_ids, ancestor_values,
+                             descendant_ids, axis="ad"):
+    """Per descendant, the max value over its joining ancestors.
+
+    ``ancestor_values`` maps ancestor id to a float.  Returns a dict
+    ``{descendant_id: max}`` containing only descendants with at least one
+    match — the top-down half of the twig keyword-score pass.
+
+    Each stack entry carries the running max of the values at and below it
+    (computed when pushed — entries pushed later pop earlier, so the
+    prefix max of the survivors is always the top entry's).
+    """
+    _check_axis(axis)
+    result = {}
+    stack = []  # (ancestor_id, prefix_max including entries below)
+    a_index = 0
+    d_index = 0
+    a_len = len(ancestor_ids)
+    d_len = len(descendant_ids)
+    parent_only = axis == "pc"
+
+    while d_index < d_len:
+        descendant = descendant_ids[d_index]
+        if not stack and a_index < a_len and ancestor_ids[a_index] > descendant:
+            d_index = bisect_left(
+                descendant_ids, ancestor_ids[a_index], lo=d_index + 1
+            )
+            continue
+        while a_index < a_len and ancestor_ids[a_index] < descendant:
+            candidate = ancestor_ids[a_index]
+            while stack and ends[stack[-1][0]] <= candidate:
+                stack.pop()
+            value = ancestor_values[candidate]
+            if stack and stack[-1][1] > value:
+                value = stack[-1][1]
+            stack.append((candidate, value))
+            a_index += 1
+        while stack and ends[stack[-1][0]] <= descendant:
+            stack.pop()
+        if stack:
+            top = stack[-1]
+            if not parent_only:
+                result[descendant] = top[1]
+            elif levels[top[0]] + 1 == levels[descendant]:
+                result[descendant] = ancestor_values[top[0]]
+        d_index += 1
+    return result
+
+
+def twig_filter_ids(ends, levels, pools, parents, axes, order):
+    """Holistic twig filter: per-variable ids that join in a full match.
+
+    The TwigStack-style core of the holistic twig operator: instead of a
+    pipeline of binary joins materializing intermediate tuple lists, two
+    passes of stack-merge semi-joins over the id-sorted candidate pools
+    compute, for every twig variable, exactly the nodes participating in
+    at least one complete embedding — no pair list is ever built.
+
+    ``pools`` maps variable name to an id-sorted id list; ``parents`` maps
+    each variable to its twig parent (None at the root); ``axes`` maps each
+    non-root variable to its edge axis ("pc"/"ad"); ``order`` lists the
+    variables parent-before-child (any topological order of the twig).
+
+    Returns ``{var: id list}`` with every list id-sorted.  Cost is a
+    constant number of linear merges per twig edge — O(Σ pool sizes) per
+    edge — independent of how many embeddings exist.
+    """
+    children = {var: [] for var in order}
+    for var in order:
+        parent = parents[var]
+        if parent is not None:
+            children[parent].append(var)
+
+    # Bottom-up: keep a node when every child edge has a supporting match.
+    supported = {}
+    for var in reversed(order):
+        candidates = pools[var]
+        for child in children[var]:
+            candidates = semi_join_ancestor_ids(
+                ends, levels, candidates, supported[child], axis=axes[child]
+            )
+            if not candidates:
+                break
+        supported[var] = candidates
+
+    # Top-down: additionally require the ancestor chain up to the root.
+    final = {}
+    for var in order:
+        parent = parents[var]
+        if parent is None:
+            final[var] = supported[var]
+        else:
+            final[var] = semi_join_descendant_ids(
+                ends, levels, final[parent], supported[var], axis=axes[var]
+            )
+    return final

@@ -31,6 +31,8 @@ from collections import OrderedDict
 
 from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
+from repro.plans.cost import StaticCostModel
+from repro.plans.physical import lower_plan
 from repro.plans.plan import build_encoded_plan, build_strict_plan
 from repro.query.closure import closure
 from repro.query.minimize import minimize
@@ -65,11 +67,16 @@ class CompiledQuery:
         "corpus_version",
         "strict_plans",
         "encoded_plans",
+        "strict_physical_plans",
+        "encoded_physical_plans",
+        "cost_model_name",
+        "cost_fingerprint",
     )
 
     def __init__(self, tpq, closure_set, core_set, schedule, max_relaxations,
                  skip_useless_gamma, weights, corpus_version, strict_plans,
-                 encoded_plans):
+                 encoded_plans, strict_physical_plans, encoded_physical_plans,
+                 cost_model_name, cost_fingerprint):
         object.__setattr__(self, "tpq", tpq)
         object.__setattr__(self, "closure", closure_set)
         object.__setattr__(self, "core", core_set)
@@ -80,6 +87,14 @@ class CompiledQuery:
         object.__setattr__(self, "corpus_version", corpus_version)
         object.__setattr__(self, "strict_plans", strict_plans)
         object.__setattr__(self, "encoded_plans", encoded_plans)
+        object.__setattr__(
+            self, "strict_physical_plans", strict_physical_plans
+        )
+        object.__setattr__(
+            self, "encoded_physical_plans", encoded_physical_plans
+        )
+        object.__setattr__(self, "cost_model_name", cost_model_name)
+        object.__setattr__(self, "cost_fingerprint", cost_fingerprint)
 
     def __setattr__(self, name, value):
         raise AttributeError(
@@ -126,6 +141,14 @@ class CompiledQuery:
         """The prebuilt single-pass plan encoding schedule levels 0..``level``."""
         return self.encoded_plans[level]
 
+    def strict_physical(self, level):
+        """The lowered physical plan for the strict plan at ``level``."""
+        return self.strict_physical_plans[level]
+
+    def encoded_physical(self, level):
+        """The lowered physical plan for the encoded plan at ``level``."""
+        return self.encoded_physical_plans[level]
+
     def structural_score(self, level):
         """Compile-time structural score of answers first seen at ``level``."""
         return self.schedule.structural_score(level)
@@ -157,9 +180,18 @@ def compile_query(context, tpq, weights=None, max_relaxations=None,
     3. one prebuilt **strict plan per level** (what DPO and the naive
        baseline execute) and one prebuilt **encoded plan per level** (what
        SSO/Hybrid execute, Figure 8), so the execute phase never builds a
-       plan.
+       plan;
+    4. one lowered **physical plan per logical plan**: the context's cost
+       model orders the joins and picks the physical operator (holistic
+       twig join vs. binary pipeline) at compile time, and the model's
+       fingerprint is recorded so the :class:`PlanCache` key can fence
+       artifacts against cost-model drift (the measured model's answers
+       change as feedback accumulates).
     """
     weights = weights if weights is not None else context.weights
+    cost_model = getattr(context, "cost_model", None)
+    if cost_model is None:
+        cost_model = StaticCostModel(context.statistics)
     closure_set = closure(tpq)
     core_set = minimize(closure_set)
     schedule = RelaxationSchedule(
@@ -175,6 +207,12 @@ def compile_query(context, tpq, weights=None, max_relaxations=None,
         build_encoded_plan(schedule, level)
         for level in range(len(schedule) + 1)
     )
+    strict_physical_plans = tuple(
+        lower_plan(plan, cost_model) for plan in strict_plans
+    )
+    encoded_physical_plans = tuple(
+        lower_plan(plan, cost_model) for plan in encoded_plans
+    )
     corpus = context.corpus
     return CompiledQuery(
         tpq=tpq,
@@ -187,6 +225,10 @@ def compile_query(context, tpq, weights=None, max_relaxations=None,
         corpus_version=corpus.version if corpus is not None else 0,
         strict_plans=strict_plans,
         encoded_plans=encoded_plans,
+        strict_physical_plans=strict_physical_plans,
+        encoded_physical_plans=encoded_physical_plans,
+        cost_model_name=cost_model.name,
+        cost_fingerprint=cost_model.fingerprint(),
     )
 
 

@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Executor phases in pipeline order; rendering and aggregation follow it.
-PHASES = ("seed", "extend", "checks", "dedup", "project", "prune", "sort",
-          "bucket", "collect")
+#: ``twig`` is the holistic twig-join operator's stack-merge pass (strict
+#: runs whose physical plan chose it); binary-pipeline runs never emit it.
+PHASES = ("seed", "extend", "twig", "checks", "dedup", "project", "prune",
+          "sort", "bucket", "collect")
 
 
 @dataclass
@@ -26,6 +28,7 @@ class LevelTrace:
     label: str
     spans: dict  # phase name -> {"seconds": float, "calls": int}
     stats: object  # the run's ExecutionStats
+    operators: tuple = ()  # per-operator est/actual dicts (physical plans)
 
     def seconds(self, phase):
         entry = self.spans.get(phase)
@@ -39,6 +42,7 @@ class LevelTrace:
             "label": self.label,
             "spans": self.spans,
             "stats": self.stats.as_dict(),
+            "operators": [dict(op) for op in self.operators],
         }
 
 
@@ -170,6 +174,18 @@ class QueryTrace:
                         stats.max_intermediate,
                     )
                 )
+                for op in level.operators:
+                    actual = op.get("actual")
+                    lines.append(
+                        "    %-15s %-10s est=%-10.1f act=%-8s %s"
+                        % (
+                            op["kind"],
+                            op["var"],
+                            op["estimate"],
+                            "-" if actual is None else actual,
+                            op["detail"],
+                        )
+                    )
         return "\n".join(lines)
 
 

@@ -1,5 +1,13 @@
-"""Join plans: structural join primitive, relaxation-encoded plans, executor."""
+"""Join plans: structural join primitive, relaxation-encoded plans,
+cost-model-driven physical lowering, executor."""
 
+from repro.plans.cost import (
+    CostModel,
+    FeedbackStatistics,
+    MeasuredCostModel,
+    StaticCostModel,
+    order_joins,
+)
 from repro.plans.eval_cache import EvaluationCache
 from repro.plans.executor import (
     HYBRID_MODE,
@@ -8,6 +16,12 @@ from repro.plans.executor import (
     ExecutionResult,
     ExecutionStats,
     PlanExecutor,
+)
+from repro.plans.physical import (
+    OperatorEstimate,
+    PhysicalPlan,
+    lower_plan,
+    twig_eligible,
 )
 from repro.plans.plan import (
     Alternative,
@@ -32,18 +46,27 @@ __all__ = [
     "Alternative",
     "ContainsCheck",
     "ContainsLevel",
+    "CostModel",
     "EvaluationCache",
     "ExecutionResult",
     "ExecutionStats",
+    "FeedbackStatistics",
     "HYBRID_MODE",
+    "MeasuredCostModel",
+    "OperatorEstimate",
+    "PhysicalPlan",
     "Plan",
     "PlanExecutor",
     "PlanJoin",
     "SSO_MODE",
     "STRICT",
+    "StaticCostModel",
     "build_encoded_plan",
     "build_strict_plan",
+    "lower_plan",
+    "order_joins",
     "selectivity_ordered",
+    "twig_eligible",
     "semi_join_ancestor_ids",
     "semi_join_ancestors",
     "semi_join_descendant_ids",

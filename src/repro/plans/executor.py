@@ -30,6 +30,7 @@ from repro.backend import as_backend
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import NULL_TRACER
 from repro.plans.eval_cache import restriction_key
+from repro.plans.physical import TWIG, PhysicalPlan
 from repro.rank.schemes import STRUCTURE_FIRST
 from repro.rank.scores import AnswerScore, ScoredAnswer
 
@@ -80,10 +81,18 @@ class ExecutionStats:
 
 @dataclass
 class ExecutionResult:
-    """Deduplicated scored answers plus execution counters."""
+    """Deduplicated scored answers plus execution counters.
+
+    ``operators`` is populated only when a :class:`PhysicalPlan` ran: one
+    JSON-safe dict per lowered operator with the cost model's ``estimate``
+    next to the observed ``actual`` cardinality — the raw material of
+    ``explain --analyze``.  It stays off :class:`ExecutionStats` because
+    the stats dataclass is folded additively into the metrics registry.
+    """
 
     answers: list
     stats: ExecutionStats
+    operators: list = None
 
 
 class _Tuple:
@@ -128,10 +137,16 @@ class PlanExecutor:
     corpus); all candidate access goes through the backend seam.
     """
 
-    def __init__(self, source, ir_engine=None, eval_cache=None):
+    def __init__(self, source, ir_engine=None, eval_cache=None, feedback=None):
         self._backend = as_backend(source, ir_engine=ir_engine)
         self._ir = ir_engine if ir_engine is not None else self._backend.ir
         self._eval_cache = eval_cache
+        # FeedbackStatistics (repro.plans.cost) or None: observed pool sizes
+        # and join fan-outs recorded during real runs feed the measured cost
+        # model.  Only semantically clean measurements are recorded —
+        # unrestricted pools without attribute predicates, required
+        # single-alternative joins with non-empty input.
+        self._feedback = feedback
 
     # -- public entry ---------------------------------------------------------
 
@@ -162,7 +177,18 @@ class PlanExecutor:
         join — the coarse-grained boundaries where abandoning a run cannot
         leave shared state half-mutated.  It aborts by raising (see
         :class:`~repro.session.QueryControl`); ``None`` costs nothing.
+
+        ``plan`` may be a logical :class:`~repro.plans.plan.Plan` (executed
+        with the binary pipeline, as before) or a
+        :class:`~repro.plans.physical.PhysicalPlan`; the latter routes to
+        the holistic twig operator when the lowering chose it — but only in
+        strict mode, because threshold / ``maxScoreGrowth`` pruning needs
+        the scored intermediates the holistic operator never materializes.
         """
+        physical = None
+        if isinstance(plan, PhysicalPlan):
+            physical = plan
+            plan = physical.logical
         stats = ExecutionStats()
         cache = self._eval_cache
         run = _RunState(
@@ -175,6 +201,60 @@ class PlanExecutor:
             if tracer.enabled and run.cache is not None
             else None
         )
+        use_twig = (
+            physical is not None
+            and physical.operator == TWIG
+            and mode == STRICT
+        )
+        if use_twig:
+            answers, actuals = self._run_twig(
+                plan, run, stats, tracer, checkpoint
+            )
+        else:
+            answers, actuals = self._run_binary(
+                plan, k, scheme, mode, run, stats, tracer, checkpoint,
+                record=physical is not None,
+            )
+        if eval_before is not None:
+            # Surface this run's cache activity in the trace: with a warm
+            # cache the IR counters legitimately read zero, and the hits
+            # are what explain --analyze should show instead.
+            for key, value in run.cache.metrics_snapshot().items():
+                delta = value - eval_before[key]
+                if delta:
+                    tracer.count(key, delta)
+        if REGISTRY.enabled:
+            # Fold this run's counters into the process registry: additive
+            # fields become counters; max_intermediate is a high-water mark.
+            folded = {"executor.plans_executed": 1}
+            if physical is not None:
+                folded["plan.physical.twig" if use_twig
+                       else "plan.physical.binary"] = 1
+            for key, value in stats.as_dict().items():
+                if value and key != "max_intermediate":
+                    folded["executor." + key] = value
+            REGISTRY.inc_many(folded)
+            REGISTRY.set_gauge_max(
+                "executor.max_intermediate", stats.max_intermediate
+            )
+        operators = None
+        if physical is not None:
+            operators = []
+            for op in physical.operators:
+                entry = op.as_dict()
+                entry["actual"] = actuals.get((op.kind, op.var))
+                operators.append(entry)
+        return ExecutionResult(answers=answers, stats=stats,
+                               operators=operators)
+
+    def _run_binary(self, plan, k, scheme, mode, run, stats, tracer,
+                    checkpoint, record=False):
+        """The classic pipeline: seed, then extend join by join."""
+        actuals = {}
+        feedback = self._feedback
+        var_tags = {plan.root_var: plan.root_tag}
+        for join in plan.joins:
+            var_tags[join.var] = join.tag
         var_positions = {plan.root_var: 0}
         for index, join in enumerate(plan.joins):
             var_positions[join.var] = index + 1
@@ -208,6 +288,12 @@ class PlanExecutor:
             checkpoint()
         with tracer.span("seed"):
             tuples = self._seed(run, plan, stats)
+        if record:
+            actuals[("seed-scan", plan.root_var)] = len(tuples)
+        if (feedback is not None
+                and run.pools.get(plan.root_var) is None
+                and not plan.root_attr_predicates):
+            feedback.record_pool(plan.root_tag, len(tuples))
         if run.excluded and plan.distinguished == plan.root_var:
             with tracer.span("dedup"):
                 tuples = self._drop_known_answers(run, tuples, 0, stats)
@@ -215,6 +301,8 @@ class PlanExecutor:
             tuples = self._apply_checks(
                 run, plan, plan.root_var, tuples, var_positions, stats
             )
+        if record and plan.checks_by_var.get(plan.root_var):
+            actuals[("contains-filter", plan.root_var)] = len(tuples)
         # Zero-join plans never enter the loop below; record the seeded and
         # checked population here so max_intermediate is meaningful for them.
         stats.note_intermediate(len(tuples))
@@ -222,8 +310,22 @@ class PlanExecutor:
         for index, join in enumerate(plan.joins):
             if checkpoint is not None:
                 checkpoint()
+            bases = len(tuples)
             with tracer.span("extend"):
                 tuples = self._extend(run, join, tuples, var_positions, stats)
+            if record:
+                actuals[("binary-join", join.var)] = len(tuples)
+            if (feedback is not None
+                    and bases > 0
+                    and len(join.alternatives) == 1
+                    and not join.optional
+                    and run.pools.get(join.var) is None
+                    and not join.attr_predicates):
+                alt = join.alternatives[0]
+                feedback.record_join(
+                    var_tags.get(alt.connect_var), alt.axis, join.tag,
+                    bases, len(tuples),
+                )
             if run.excluded and join.var == plan.distinguished:
                 with tracer.span("dedup"):
                     tuples = self._drop_known_answers(
@@ -233,6 +335,8 @@ class PlanExecutor:
                 tuples = self._apply_checks(
                     run, plan, join.var, tuples, var_positions, stats
                 )
+            if record and plan.checks_by_var.get(join.var):
+                actuals[("contains-filter", join.var)] = len(tuples)
             with tracer.span("project"):
                 tuples = self._project(
                     tuples, live_after[index], var_positions, scheme, stats
@@ -287,56 +391,246 @@ class PlanExecutor:
 
         with tracer.span("collect"):
             answers = self._collect(plan, tuples, var_positions, scheme, stats)
-        if eval_before is not None:
-            # Surface this run's cache activity in the trace: with a warm
-            # cache the IR counters legitimately read zero, and the hits
-            # are what explain --analyze should show instead.
-            for key, value in run.cache.metrics_snapshot().items():
-                delta = value - eval_before[key]
-                if delta:
-                    tracer.count(key, delta)
-        if REGISTRY.enabled:
-            # Fold this run's counters into the process registry: additive
-            # fields become counters; max_intermediate is a high-water mark.
-            folded = {"executor.plans_executed": 1}
-            for key, value in stats.as_dict().items():
-                if value and key != "max_intermediate":
-                    folded["executor." + key] = value
-            REGISTRY.inc_many(folded)
-            REGISTRY.set_gauge_max(
-                "executor.max_intermediate", stats.max_intermediate
+        return answers, actuals
+
+    # -- the holistic twig operator ---------------------------------------------
+
+    def _run_twig(self, plan, run, stats, tracer, checkpoint):
+        """Evaluate a twig-eligible plan holistically (TwigStack-family).
+
+        Instead of growing an intermediate tuple list join by join, match
+        the whole twig with a constant number of stack-merge passes over
+        the per-variable candidate pools (``twig_filter_ids`` through the
+        backend seam), then recover per-answer keyword scores with a
+        max-aggregation dynamic program over the filtered pools — the max
+        over embeddings of a tree-shaped sum decomposes into independent
+        branch maxima below each spine node plus a top-down prefix above.
+
+        Produces exactly the answers/scores of the binary pipeline on the
+        same plan: twig-eligible plans have single required alternatives
+        and original-level checks, so every surviving answer carries the
+        same constant structural score and signature, and the per-answer
+        keyword score is the max over embeddings in both formulations.
+        """
+        backend = self._backend
+        ir = self._ir
+        cache = run.cache
+        feedback = self._feedback
+        actuals = {}
+        if checkpoint is not None:
+            checkpoint()
+
+        # Twig shape: parent/axis per variable, parents-before-children.
+        var_tags = {plan.root_var: plan.root_tag}
+        var_attrs = {plan.root_var: plan.root_attr_predicates}
+        parents = {plan.root_var: None}
+        axes = {}
+        order = [plan.root_var]
+        for join in plan.joins:
+            alt = join.alternatives[0]
+            var_tags[join.var] = join.tag
+            var_attrs[join.var] = join.attr_predicates
+            parents[join.var] = alt.connect_var
+            axes[join.var] = alt.axis
+            order.append(join.var)
+
+        with tracer.span("seed"):
+            pools = {}
+            for var in order:
+                allowed = run.pools.get(var)
+                pool = self._pool(var_tags[var], var_attrs[var], allowed, cache)
+                pools[var] = pool
+                stats.tuples_produced += len(pool)
+                if (feedback is not None and allowed is None
+                        and not var_attrs[var]):
+                    feedback.record_pool(var_tags[var], len(pool))
+        actuals[("seed-scan", plan.root_var)] = len(pools[plan.root_var])
+
+        # Contains pre-filter: keep only satisfying nodes per variable and
+        # remember each survivor's own keyword score (sum over its checks,
+        # in check order — the same accumulation the pipeline performs).
+        own = {}
+        filtered_ids = {}
+        with tracer.span("checks"):
+            for var in order:
+                checks = plan.checks_by_var.get(var, ())
+                pool = pools[var]
+                if not checks:
+                    filtered_ids[var] = [node.node_id for node in pool]
+                    continue
+                ids = []
+                scores = {}
+                for node in pool:
+                    total = 0.0
+                    alive = True
+                    for check in checks:
+                        if cache is not None:
+                            ok = cache.satisfies(ir, node, check.ftexpr)
+                        else:
+                            ok = ir.satisfies(node, check.ftexpr)
+                        if not ok:
+                            alive = False
+                            stats.tuples_failed += 1
+                            break
+                        if cache is not None:
+                            total += cache.score(ir, node, check.ftexpr)
+                        else:
+                            total += ir.score(node, check.ftexpr)
+                    if alive:
+                        ids.append(node.node_id)
+                        scores[node.node_id] = total
+                filtered_ids[var] = ids
+                own[var] = scores
+                actuals[("contains-filter", var)] = len(ids)
+
+        distinguished = plan.distinguished
+        if run.excluded:
+            with tracer.span("dedup"):
+                before = len(filtered_ids[distinguished])
+                filtered_ids[distinguished] = [
+                    node_id
+                    for node_id in filtered_ids[distinguished]
+                    if node_id not in run.excluded
+                ]
+                stats.answers_deduped += before - len(filtered_ids[distinguished])
+
+        with tracer.span("twig"):
+            final = backend.twig_filter_ids(
+                filtered_ids, parents, axes, order
             )
-        return ExecutionResult(answers=answers, stats=stats)
+        for join in plan.joins:
+            actuals[("twig-join", join.var)] = len(final[join.var])
+        stats.note_intermediate(sum(len(ids) for ids in final.values()))
+
+        answer_ids = final[distinguished]
+        if not answer_ids:
+            stats.answers_before_dedup = 0
+            return [], actuals
+
+        # Keyword scores: max over full embeddings of the summed per-node
+        # contains scores.  down[v][n] = best achievable in v's subtree
+        # with v bound to n; the spine DP carries everything outside the
+        # distinguished variable's subtree down to it.
+        has_checks = bool(plan.checks_by_var)
+        if has_checks:
+            children = {var: [] for var in order}
+            for var in order[1:]:
+                children[parents[var]].append(var)
+
+            down = {}
+            branch_max = {}
+            for var in reversed(order):
+                base = own.get(var)
+                totals = {
+                    node_id: (base.get(node_id, 0.0) if base else 0.0)
+                    for node_id in final[var]
+                }
+                per_child = {}
+                for child in children[var]:
+                    agg = backend.max_value_per_ancestor(
+                        final[var], final[child], down[child],
+                        axis=axes[child],
+                    )
+                    per_child[child] = agg
+                    for node_id in final[var]:
+                        totals[node_id] += agg[node_id]
+                branch_max[var] = per_child
+                down[var] = totals
+
+            spine = [distinguished]
+            while parents[spine[-1]] is not None:
+                spine.append(parents[spine[-1]])
+            spine.reverse()
+
+            up = {spine[0]: {node_id: 0.0 for node_id in final[spine[0]]}}
+            for parent_var, var in zip(spine, spine[1:]):
+                base = own.get(parent_var)
+                rest = {}
+                for node_id in final[parent_var]:
+                    total = up[parent_var][node_id]
+                    if base:
+                        total += base.get(node_id, 0.0)
+                    for child in children[parent_var]:
+                        if child == var:
+                            continue
+                        total += branch_max[parent_var][child][node_id]
+                    rest[node_id] = total
+                up[var] = backend.max_value_per_descendant(
+                    final[parent_var], rest, final[var], axis=axes[var]
+                )
+            up_scores = up[distinguished]
+            down_scores = down[distinguished]
+
+        # Constant structural score and signature: every join matched its
+        # single strict alternative, every check matched at level 0.
+        ss = 0.0
+        for join in plan.joins:
+            ss += join.alternatives[0].delta
+        signature = [(join.var, 0) for join in plan.joins]
+        for var, checks in plan.checks_by_var.items():
+            for check_index in range(len(checks)):
+                signature.append(("contains", var, check_index, 0))
+        satisfied = frozenset(signature)
+
+        with tracer.span("collect"):
+            node_by_id = {
+                node.node_id: node for node in pools[distinguished]
+            }
+            answers = []
+            for node_id in answer_ids:
+                ks = (
+                    up_scores[node_id] + down_scores[node_id]
+                    if has_checks
+                    else 0.0
+                )
+                answers.append(
+                    ScoredAnswer(
+                        node=node_by_id[node_id],
+                        score=AnswerScore(ss, ks),
+                        relaxation_level=0,
+                        satisfied=satisfied,
+                    )
+                )
+            stats.answers_before_dedup = len(answers)
+        return answers, actuals
 
     # -- phases -----------------------------------------------------------------
 
-    def _seed(self, run, plan, stats):
-        allowed = run.pools.get(plan.root_var)
-        cache = run.cache
+    def _pool(self, tag, attr_predicates, allowed, cache):
+        """One variable's candidate pool (tag scan + filters), cache-backed.
+
+        The key matches the seed pool key exactly, so the twig operator's
+        per-variable pools and the pipeline's seed pools share entries.
+        """
         nodes = None
         pool_key = None
         if cache is not None:
-            pool_key = (
-                plan.root_tag,
-                plan.root_attr_predicates,
-                restriction_key(allowed),
-            )
+            pool_key = (tag, attr_predicates, restriction_key(allowed))
             nodes = cache.get_pool(pool_key)
         if nodes is None:
-            if plan.root_tag is not None:
-                candidates = self._backend.nodes_with_tag(plan.root_tag)
+            if tag is not None:
+                candidates = self._backend.nodes_with_tag(tag)
             else:
                 candidates = list(self._backend.nodes())
             nodes = []
             for node in candidates:
                 if allowed is not None and node.node_id not in allowed:
                     continue
-                if not self._attrs_ok(plan.root_attr_predicates, node):
+                if not self._attrs_ok(attr_predicates, node):
                     continue
                 nodes.append(node)
             if cache is not None:
                 nodes = tuple(nodes)
                 cache.put_pool(pool_key, nodes)
+        return nodes
+
+    def _seed(self, run, plan, stats):
+        nodes = self._pool(
+            plan.root_tag,
+            plan.root_attr_predicates,
+            run.pools.get(plan.root_var),
+            run.cache,
+        )
         tuples = [_Tuple((node,), 0.0, 0.0, ()) for node in nodes]
         stats.tuples_produced += len(tuples)
         return tuples

@@ -11,66 +11,35 @@ dependency constraint that every alternative's connect variable and every
 contains chain variable is bound before use. The executor's liveness
 analysis adapts to any valid order, so this is a drop-in plan rewrite;
 ``benchmarks/bench_ablation_join_order.py`` measures what it buys.
+
+The ordering machinery itself lives in :mod:`repro.plans.cost` (shared
+with the physical-plan lowering); this function is the historical
+statistics-only entry point, equivalent to ordering with a
+:class:`~repro.plans.cost.StaticCostModel`.  The shared key tie-breaks
+zero-count (absent) tags deterministically by variable name — two tags
+the corpus has never seen are equally "cheapest", and falling back to
+plan position made the choice an accident of pre-order.
 """
 
 from __future__ import annotations
 
-from repro.errors import EvaluationError
+from repro.plans.cost import StaticCostModel, order_joins
 from repro.plans.plan import Plan
-
-
-def _dependencies(plan):
-    """Map each join var to the set of vars that must be bound before it."""
-    needed = {}
-    for join in plan.joins:
-        requires = {alt.connect_var for alt in join.alternatives}
-        for check in plan.checks_by_var.get(join.var, ()):
-            requires.update(level.var for level in check.levels)
-        requires.discard(join.var)
-        needed[join.var] = requires
-    return needed
 
 
 def selectivity_ordered(plan, statistics):
     """Return a plan with joins greedily ordered most-selective-first.
 
-    Ties and unconstrained variables fall back to the original order, so
-    the rewrite is deterministic.
+    Ties and unconstrained variables fall back to the original order
+    (zero-count tags tie-break by variable name first), so the rewrite is
+    deterministic.
     """
-    joins_by_var = {join.var: join for join in plan.joins}
-    original_rank = {join.var: index for index, join in enumerate(plan.joins)}
-    needed = _dependencies(plan)
-
-    bound = {plan.root_var}
-    ordered = []
-    remaining = set(joins_by_var)
-
-    def cost(var):
-        join = joins_by_var[var]
-        count = statistics.tag_count(join.tag)
-        # Required joins first among equals: they can only shrink results,
-        # optional ones only grow them.
-        return (count, join.optional, original_rank[var])
-
-    while remaining:
-        ready = [
-            var for var in remaining if needed[var] <= bound
-        ]
-        if not ready:
-            raise EvaluationError(
-                "join dependencies are cyclic; cannot order %s"
-                % ", ".join(sorted(remaining))
-            )
-        chosen = min(ready, key=cost)
-        ordered.append(joins_by_var[chosen])
-        bound.add(chosen)
-        remaining.discard(chosen)
-
+    ordered = order_joins(plan, StaticCostModel(statistics))
     return Plan(
         root_var=plan.root_var,
         root_tag=plan.root_tag,
         root_attr_predicates=plan.root_attr_predicates,
-        joins=tuple(ordered),
+        joins=ordered,
         checks_by_var=plan.checks_by_var,
         distinguished=plan.distinguished,
         fallback_chain=plan.fallback_chain,

@@ -53,6 +53,7 @@ from repro.errors import FleXPathError
 from repro.ir.scoring import idf
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.plans.cost import MeasuredCostModel
 from repro.plans.eval_cache import CACHE_NAMES
 from repro.plans.executor import STRICT, ExecutionResult, ExecutionStats
 from repro.rank.schemes import STRUCTURE_FIRST, rank_answers
@@ -165,7 +166,7 @@ class ShardedQueryContext:
     """
 
     def __init__(self, backend, weights=UNIFORM_WEIGHTS,
-                 plan_cache_size=None):
+                 plan_cache_size=None, cost_model=None):
         self.backend = backend
         self.corpus = _VersionShim(backend)
         self.document = None
@@ -175,6 +176,13 @@ class ShardedQueryContext:
         self.weights = weights
         self.penalties = PenaltyModel(self.statistics, self.ir, weights)
         self.estimator = SelectivityEstimator(self.statistics, self.ir)
+        # The coordinator's cost model lowers plans against *aggregate*
+        # statistics; shard contexts keep their own (feedback stays
+        # shard-local and never feeds the coordinator's fingerprint).
+        if cost_model is None:
+            cost_model = MeasuredCostModel(self.statistics)
+        self.cost_model = cost_model
+        self.feedback = getattr(cost_model, "feedback", None)
         self.shard_contexts = [
             QueryContext(view, weights=weights) for view in backend.views()
         ]
@@ -196,6 +204,8 @@ class ShardedQueryContext:
         # from aggregate statistics) and any forked worker pool (a frozen
         # pre-ingest snapshot of every shard) are what go stale here.
         self.plan_cache.invalidate()
+        if self.feedback is not None:
+            self.feedback.clear()
         if self.process_pool is not None:
             self.process_pool.close()
             self.process_pool = None
@@ -218,6 +228,7 @@ class ShardedQueryContext:
             max_relaxations,
             skip_useless_gamma,
             self.backend.version,
+            self.cost_model.fingerprint(),
         )
         compiled = self.plan_cache.get(key)
         if compiled is None:
@@ -293,9 +304,9 @@ def _process_worker(task):
     if context.backend.version != version:
         return None
     if kind == "strict":
-        plan = compiled.strict_plan(level)
+        plan = compiled.strict_physical(level)
     else:
-        plan = compiled.encoded_plan(level)
+        plan = compiled.encoded_physical(level)
     result = context.executor.run(
         plan,
         k=k,
@@ -670,11 +681,11 @@ class ShardedStrategy:
         session = sessions[shard_index]
         kwargs = {"mode": spec["mode"]}
         if spec["kind"] == "strict":
-            plan = compiled.strict_plan(spec["level"])
+            plan = compiled.strict_physical(spec["level"])
             if spec["exclude"]:
                 kwargs["exclude_answer_ids"] = session.seen
         else:
-            plan = compiled.encoded_plan(spec["level"])
+            plan = compiled.encoded_physical(spec["level"])
             kwargs["k"] = spec["k"]
             kwargs["scheme"] = scheme
         restrictions = self._restrictions(shard_index, session, spec)

@@ -22,6 +22,7 @@ from repro.obs.events import HUB
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import LevelTrace
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.plans.cost import FeedbackStatistics, MeasuredCostModel
 from repro.plans.eval_cache import EvaluationCache
 from repro.plans.executor import PlanExecutor
 from repro.relax.penalties import UNIFORM_WEIGHTS, PenaltyModel
@@ -51,7 +52,8 @@ class QueryContext:
     """
 
     def __init__(self, document, ir_engine=None, statistics=None,
-                 weights=UNIFORM_WEIGHTS, plan_cache_size=None):
+                 weights=UNIFORM_WEIGHTS, plan_cache_size=None,
+                 cost_model=None):
         backend = as_backend(document, ir_engine=ir_engine,
                              statistics=statistics)
         self.backend = backend
@@ -64,8 +66,21 @@ class QueryContext:
         self.penalties = PenaltyModel(self.statistics, self.ir, weights)
         self.estimator = SelectivityEstimator(self.statistics, self.ir)
         self.eval_cache = EvaluationCache()
+        # Physical lowering is cost-model driven: the default feedback
+        # model starts out identical to §6's static estimates and refines
+        # join ordering / operator choice from the cardinalities the
+        # executor observes.  Pass a CostModel to override (ablations pin
+        # operator_policy; custom models per docs/EXTENDING.md).
+        if cost_model is None:
+            cost_model = MeasuredCostModel(self.statistics)
+        self.cost_model = cost_model
+        feedback = getattr(cost_model, "feedback", None)
+        self.feedback = (
+            feedback if feedback is not None else FeedbackStatistics()
+        )
         self.executor = PlanExecutor(backend, self.ir,
-                                     eval_cache=self.eval_cache)
+                                     eval_cache=self.eval_cache,
+                                     feedback=self.feedback)
         self.plan_cache = (
             PlanCache() if plan_cache_size is None
             else PlanCache(plan_cache_size)
@@ -82,6 +97,8 @@ class QueryContext:
         """
         self.plan_cache.invalidate()
         self.eval_cache.clear()
+        # Observed cardinalities refer to the pre-growth corpus.
+        self.feedback.clear()
 
     def attach_tracer(self, tracer):
         """Point the context's IR engine at a tracer (None detaches).
@@ -106,6 +123,7 @@ class QueryContext:
             max_relaxations,
             skip_useless_gamma,
             self.backend.version,
+            self.cost_model.fingerprint(),
         )
         compiled = self.plan_cache.get(key)
         if compiled is None:
@@ -295,6 +313,7 @@ def run_plan_traced(context, plan, label, tracer, traces, **kwargs):
             label=label,
             spans=level_tracer.snapshot()["spans"],
             stats=result.stats,
+            operators=tuple(result.operators or ()),
         )
     )
     if HUB.active:

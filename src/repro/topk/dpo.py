@@ -70,7 +70,7 @@ class DPO:
         for level in range(len(schedule) + 1):
             if level > cutoff:
                 break
-            plan = compiled.strict_plan(level)
+            plan = compiled.strict_physical(level)
             # Answers of earlier levels are excluded inside the executor as
             # soon as the answer variable binds — the paper's §5.2.2 trick
             # for avoiding recomputation across successive relaxations.

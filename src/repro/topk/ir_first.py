@@ -106,7 +106,7 @@ class IRFirstDPO:
             if level > cutoff:
                 break
             entry = schedule.level(level)
-            plan = compiled.strict_plan(level)
+            plan = compiled.strict_physical(level)
             with session.tracer.span("ir_filter"):
                 restrictions = self._restrictions_for(entry.query)
             result = session.run_plan(

@@ -58,7 +58,7 @@ class NaiveRewriting:
 
         collected = {}
         for level in range(len(schedule) + 1):
-            plan = compiled.strict_plan(level)
+            plan = compiled.strict_physical(level)
             result = session.run_plan(plan, "level %d" % level, mode=STRICT)
             level_score = schedule.structural_score(level)
             for answer in result.answers:

@@ -79,7 +79,7 @@ class SSO:
         level = self.choose_level(schedule, k, scheme, contains_count)
 
         while True:
-            plan = compiled.encoded_plan(level)
+            plan = compiled.encoded_physical(level)
             result = session.run_plan(
                 plan,
                 "encoded@level %d" % level,

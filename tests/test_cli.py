@@ -260,6 +260,41 @@ class TestExplainJson:
         assert "compile:" in output and "execute:" in output
         assert output.index("compile:") < output.index("phase breakdown")
 
+    def test_analyze_prints_physical_operators(self, xml_file):
+        code, output = run(
+            [
+                "explain", xml_file, "//article[./section/paragraph]",
+                "--analyze", "-k", "3",
+            ]
+        )
+        assert code == 0
+        # Per-level operator lines: chosen physical operator with the
+        # estimated cardinality next to the observed one.
+        assert "seed-scan" in output
+        assert "est=" in output
+        assert "act=" in output
+
+    def test_analyze_json_includes_operator_estimates(self, xml_file):
+        import json
+
+        code, output = run(
+            [
+                "explain", xml_file, "//article[./section/paragraph]",
+                "--analyze", "--json", "-k", "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        operator_lists = [level["operators"] for level in payload["levels"]]
+        assert any(operator_lists)
+        seen_kinds = set()
+        for operators in operator_lists:
+            for op in operators:
+                assert set(op) >= {"kind", "var", "detail", "estimate",
+                                   "actual"}
+                seen_kinds.add(op["kind"])
+        assert "seed-scan" in seen_kinds
+
 
 class TestMetrics:
     def test_prometheus_text_output(self, xml_file):

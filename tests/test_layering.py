@@ -19,6 +19,8 @@ def _fake_tree(tmp_path, source, package="topk"):
         pkg = root / "repro" / name
         pkg.mkdir(parents=True)
         (pkg / "__init__.py").write_text("", encoding="utf-8")
+    for required in check_layering.REQUIRED_GUARDED_MODULES:
+        (root / "repro" / required).write_text("", encoding="utf-8")
     (root / "repro" / package / "offender.py").write_text(
         source, encoding="utf-8"
     )
@@ -95,6 +97,13 @@ class TestDetection:
             tmp_path, "from repro.backend.sharded import ShardedBackend\n"
         )
         assert len(check_layering.check(root)) == 1
+
+    def test_missing_required_guarded_module_is_flagged(self, tmp_path):
+        root = _fake_tree(tmp_path, "")
+        (root / "repro" / "plans" / "cost.py").unlink()
+        violations = check_layering.check(root)
+        assert len(violations) == 1
+        assert "plans/cost.py" in violations[0]
 
     def test_module_getattr_shim_is_exempt(self, tmp_path):
         root = _fake_tree(

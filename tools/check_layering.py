@@ -42,6 +42,17 @@ from pathlib import Path
 #: Packages that must stay physical-storage-agnostic.
 GUARDED_PACKAGES = ("topk", "plans", "stats")
 
+#: Modules the gate must actually have walked, relative to ``repro/``.
+#: The physical-plan lowering and the cost-model seam were introduced
+#: *because* they sit on the guarded side of the seam (the cost model sees
+#: only the statistics protocol, never a storage class); if either file is
+#: moved out of a guarded package the bidirectional guarantee silently
+#: lapses, so their absence is itself a violation.
+REQUIRED_GUARDED_MODULES = (
+    "plans/cost.py",
+    "plans/physical.py",
+)
+
 #: Modules whose import from guarded code pierces the seam.
 BANNED_MODULES = {
     "repro.xmltree.document",
@@ -164,11 +175,19 @@ def _backend_violations(path, tree):
 def check(src_root):
     """All layering violations under ``src_root`` as printable strings."""
     violations = []
+    walked = set()
     for package in GUARDED_PACKAGES:
         for path in sorted((src_root / "repro" / package).rglob("*.py")):
+            walked.add(path.relative_to(src_root / "repro").as_posix())
             tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
             for lineno, message in _module_violations(path, tree):
                 violations.append("%s:%d: %s" % (path, lineno, message))
+    for required in REQUIRED_GUARDED_MODULES:
+        if required not in walked:
+            violations.append(
+                "%s: required guarded module not found under %s"
+                % (required, src_root / "repro")
+            )
     backend_root = src_root / "repro" / "backend"
     if backend_root.is_dir():
         for path in sorted(backend_root.rglob("*.py")):
